@@ -1,0 +1,91 @@
+"""T-bounds and T-crossover — the problem-size bound tables.
+
+Regenerates the §1/§5 quantitative claims: the four bounds across
+memory sizes, the >2× improvement at M/P ≥ 2^12, the terabyte worked
+example, and the M < 32·P^10 crossover.
+"""
+
+from repro.bounds.analysis import (
+    crossover_memory,
+    improvement_factor,
+    m_beats_subblock,
+    terabyte_config,
+)
+from repro.experiments.tables import (
+    bounds_table,
+    coverage_table,
+    crossover_table,
+    render_table,
+)
+
+
+def test_t_bounds(benchmark, show):
+    rows = benchmark(bounds_table)
+    assert rows[0]["subblock/threaded"] > 2  # §1 at M/P = 2^12
+    for row in rows:
+        assert row["threaded (1)"] < row["subblock (2)"]
+        assert row["M-columnsort (3)"] < row["hybrid (§6)"]
+    show("T-bounds (P=16)", render_table(rows))
+
+
+def test_t_crossover(benchmark, show):
+    rows = benchmark(crossover_table)
+    by_p = {row["P"]: row for row in rows}
+    assert by_p[8]["crossover M (32·P^10)"] == 2**35  # §5 worked example
+    for row in rows:
+        assert row["M below ⇒ m wins"] and row["M above ⇒ subblock wins"]
+    show("T-crossover", render_table(rows))
+
+
+def test_terabyte_example(benchmark, show):
+    cfg = benchmark(terabyte_config)
+    assert cfg.max_bytes == 2**40  # §1: one terabyte
+    show(
+        "Terabyte example (§1)",
+        f"P={cfg.p}, M/P=2^19 records, {cfg.record_size}-byte records → "
+        f"max {cfg.max_records:,} records = {cfg.max_bytes / 2**40:.0f} TB",
+    )
+
+
+def test_coverage(benchmark, show):
+    rows = benchmark(coverage_table)
+    by_key = {(r["buffer"], r["algorithm"]): r["eligible sizes (GB)"] for r in rows}
+    # Figure 2's disjoint subblock lines and full M coverage.
+    assert by_key[("2^24", "subblock")] == "1, 4, 16"
+    assert by_key[("2^25", "subblock")] == "2, 8, 32"
+    assert "32" in by_key[("2^24", "m")]
+    show("Eligible problem sizes", render_table(rows))
+
+
+def test_improvement_factor_sweep(benchmark, show):
+    def sweep():
+        return {a: improvement_factor(1 << a) for a in range(10, 31, 4)}
+
+    factors = benchmark(sweep)
+    values = list(factors.values())
+    assert values == sorted(values)  # grows monotonically (∝ (M/P)^(1/6))
+    show(
+        "Subblock/threaded improvement",
+        "\n".join(f"M/P=2^{a}: ×{f:.2f}" for a, f in factors.items()),
+    )
+
+
+def test_crossover_brute_force_agreement(benchmark):
+    """The closed form 32·P^10 against direct bound comparison across a
+    wide sweep (the integer bounds may flip within ±1 bit of the exact
+    threshold)."""
+
+    def check():
+        mismatches = 0
+        for p in (2, 4, 8, 16):
+            threshold = crossover_memory(p)
+            for shift in (-8, -4, -2, 2, 4, 8):
+                m = threshold << shift if shift > 0 else threshold >> -shift
+                if m % p:
+                    continue
+                expect = m < threshold
+                if m_beats_subblock(m, p) != expect:
+                    mismatches += 1
+        return mismatches
+
+    assert benchmark(check) == 0

@@ -1,0 +1,76 @@
+"""Figure 2 — execution times of the three columnsort programs.
+
+Regenerates the paper's only results figure from the calibrated
+discrete-event model at full experimental scale (4-32 GB total, P ∈
+{4, 8, 16}, buffers 2^24 and 2^25 bytes), checks every §5 claim, and
+prints the series.
+"""
+
+from repro.experiments.figure2 import (
+    figure2_claims,
+    figure2_series,
+    render_figure2,
+)
+from repro.simulate.hardware import BEOWULF_2003
+from repro.simulate.predict import predict_seconds_per_gb
+
+GB = 2**30
+REC = 64
+
+
+def test_figure2_regeneration(benchmark, show):
+    series = benchmark(figure2_series)
+    claims = figure2_claims(series)
+    assert all(claims.values()), {k: v for k, v in claims.items() if not v}
+    show("Figure 2", render_figure2(series))
+
+
+def test_figure2_single_point(benchmark):
+    """One Figure 2 point (32 GB on 16 processors, M-columnsort at
+    2^25) — the per-point cost of the DES."""
+    value = benchmark(
+        predict_seconds_per_gb,
+        "m", 32 * GB // REC, 16, 2**25, REC, BEOWULF_2003,
+    )
+    assert 300 < value < 450
+
+
+def test_t_passes_ratios(benchmark, show):
+    """T-passes — the §5 pass-count arithmetic: subblock ≈ 4/3 ×
+    threaded; threaded(2^25) ≈ 3-pass baseline; M-columnsort between
+    the baselines."""
+
+    def compute():
+        # Per-buffer sizes where every algorithm is eligible (subblock's
+        # power-of-4 column counts make the sets differ — Figure 2's
+        # disjoint coverage). All values are per (GB/proc), so ratios
+        # compare across sizes.
+        p = 4
+        sizes = {2**24: 4 * GB // REC, 2**25: 8 * GB // REC}
+        rows = {}
+        for buf, n in sizes.items():
+            b3 = predict_seconds_per_gb("baseline-io", n, p, buf, REC,
+                                        BEOWULF_2003, passes=3)
+            b4 = predict_seconds_per_gb("baseline-io", n, p, buf, REC,
+                                        BEOWULF_2003, passes=4)
+            t = predict_seconds_per_gb("threaded", n, p, buf, REC, BEOWULF_2003)
+            s = predict_seconds_per_gb("subblock", n, p, buf, REC, BEOWULF_2003)
+            m = predict_seconds_per_gb("m", n, p, buf, REC, BEOWULF_2003)
+            rows[buf] = (b3, b4, t, s, m)
+        return rows
+
+    rows = benchmark(compute)
+    lines = []
+    for buf, (b3, b4, t, s, m) in rows.items():
+        assert abs(s / t - 4 / 3) < 0.05
+        assert t <= 1.05 * b3
+        assert s <= 1.05 * b4
+        # M-columnsort sits strictly above the 3-pass baseline; the gap
+        # widens with P (the (P−1)/P communication factor) — at P=4 it
+        # is small, at the paper's P=16 it is the dominant visual gap.
+        assert 1.01 * b3 < m <= 1.01 * b4
+        lines.append(
+            f"buffer 2^{buf.bit_length() - 1}: baseline3={b3:.0f} "
+            f"threaded={t:.0f} m={m:.0f} subblock={s:.0f} baseline4={b4:.0f}"
+        )
+    show("T-passes (4 GB, P=4)", "\n".join(lines))

@@ -1,0 +1,78 @@
+"""Functional end-to-end benchmarks: the real algorithms on the
+simulated cluster, at laptop scale.
+
+These time the actual implementations (real disk files, real record
+movement, real thread-parallel rank programs), complementing the DES
+benchmarks that reproduce 2003-scale wall times. Useful for tracking
+performance regressions of this library itself.
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.oocs.api import sort_out_of_core
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+
+FMT = RecordFormat("u8", 64)
+
+CONFIGS = {
+    # algorithm: (P, buffer_records, N) — each at its height restriction
+    "threaded": (4, 2048, 2048 * 32),  # r ≥ 2s²: 2048 ≥ 2·32²
+    "subblock": (4, 2048, 2048 * 64),  # r ≥ 4·s^(3/2): 2048 = 4·64^1.5
+    "m": (4, 1024, 4 * 1024 * 32),     # M=4096 ≥ 2·32²
+    "hybrid": (4, 1024, 4 * 1024 * 16),
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(CONFIGS))
+def test_functional_sort(benchmark, algorithm, tmp_path_factory):
+    p, buf, n = CONFIGS[algorithm]
+    cluster = ClusterConfig(p=p, mem_per_proc=buf)
+    recs = generate("uniform", FMT, n, seed=1)
+    benchmark.group = "functional-oocs"
+    benchmark.extra_info["records"] = n
+    benchmark.extra_info["megabytes"] = n * FMT.record_size / 2**20
+
+    counter = iter(range(10**6))
+
+    def run():
+        workdir = tmp_path_factory.mktemp(f"{algorithm}-{next(counter)}")
+        return sort_out_of_core(
+            algorithm, recs, cluster, FMT, buffer_records=buf,
+            workdir=workdir, verify=False, collect_trace=False,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    # Verify once outside the timed region.
+    from repro.oocs.verify import verify_output
+
+    verify_output(result.output, recs)
+
+
+def test_functional_throughput_scales_with_p(benchmark, show):
+    """More (simulated) processors means more real threads sorting in
+    parallel: P=4 should not be slower than P=1 by more than the
+    coordination overhead."""
+    import time
+
+    n, buf = 2048 * 16, 2048
+
+    def measure():
+        times = {}
+        for p in (1, 2, 4):
+            cluster = ClusterConfig(p=p, mem_per_proc=buf)
+            recs = generate("uniform", FMT, n, seed=2)
+            t0 = time.perf_counter()
+            sort_out_of_core(
+                "threaded", recs, cluster, FMT, buffer_records=buf,
+                verify=False, collect_trace=False,
+            )
+            times[p] = time.perf_counter() - t0
+        return times
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        "Functional wall time vs P (threaded, 2 MiB of records)",
+        "\n".join(f"P={p}: {t * 1000:7.1f} ms" for p, t in times.items()),
+    )

@@ -1,0 +1,76 @@
+"""Ablation — the §6 hybrid algorithm versus its parents.
+
+The paper proposes (future work) combining subblock columnsort's
+relaxed height restriction with M-columnsort's height interpretation.
+This benchmark quantifies the trade: the hybrid buys the largest
+problem-size bound of all variants at the cost of a fourth pass.
+"""
+
+from repro.bounds.restrictions import restriction_table
+from repro.experiments.tables import render_table
+from repro.simulate.hardware import BEOWULF_2003
+from repro.simulate.predict import predict_seconds_per_gb
+
+GB = 2**30
+REC = 64
+
+
+def test_hybrid_bound_dominates(benchmark, show):
+    def table():
+        return [
+            {"M/P": f"2^{a}", **restriction_table(1 << a, 16)}
+            for a in range(14, 25, 2)
+        ]
+
+    rows = benchmark(table)
+    for row in rows:
+        assert row["hybrid"] > row["m"] > row["threaded"]
+        assert row["hybrid"] > row["subblock"]
+    show("Bounds incl. hybrid (P=16)", render_table(rows))
+
+
+def test_hybrid_time_vs_parents(benchmark, show):
+    """Time comparison at a size all three can run: the hybrid pays
+    ~4/3 of M-columnsort (the extra pass), like subblock vs threaded."""
+
+    def measure():
+        # Buffer 2^24 puts s at a power of 4 for the hybrid at this size.
+        n, p, buf = 16 * GB // REC, 16, 2**24
+        return {
+            "m": predict_seconds_per_gb("m", n, p, buf, REC, BEOWULF_2003),
+            "hybrid": predict_seconds_per_gb("hybrid", n, p, buf, REC,
+                                             BEOWULF_2003),
+        }
+
+    values = benchmark(measure)
+    ratio = values["hybrid"] / values["m"]
+    assert 1.2 < ratio < 1.45
+    show(
+        "Hybrid vs M-columnsort (16 GB, P=16, 2^25)",
+        f"m={values['m']:.0f}  hybrid={values['hybrid']:.0f}  "
+        f"ratio={ratio:.2f} (extra pass ≈ 4/3)",
+    )
+
+
+def test_hybrid_reaches_sizes_m_cannot(benchmark, show):
+    """At fixed memory, enumerate the largest problem each algorithm
+    can actually configure — the hybrid goes furthest."""
+    from repro.bounds.analysis import max_n_for_buffer
+
+    def measure():
+        buf, p = 2**19, 16
+        return {
+            alg: max_n_for_buffer(alg, buf, p)
+            for alg in ("threaded", "subblock", "m", "hybrid")
+        }
+
+    maxima = benchmark(measure)
+    assert maxima["hybrid"] >= maxima["m"] >= maxima["threaded"]
+    assert maxima["hybrid"] > maxima["subblock"]
+    show(
+        "Largest runnable N at buffer 2^19 records, P=16",
+        "\n".join(
+            f"{alg:9s} {n:,} records ({n * REC / 2**40:.2f} TB at 64 B)"
+            for alg, n in maxima.items()
+        ),
+    )

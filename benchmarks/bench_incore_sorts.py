@@ -1,0 +1,124 @@
+"""T-incore — §4's comparison of the distributed in-core sorts.
+
+The paper: "in-core columnsort … was consistently faster than bitonic
+sort on problem sizes representative of those we encounter in the sort
+stage. Radix sort was competitive … but we decided to use in-core
+columnsort because radix sort has a high dependence on the key format
+and because columnsort's communication patterns are independent of the
+values in the keys."
+
+We measure each sort's wall time and, more portably, its communication
+volume (the quantity the 2003 timings reflect): bitonic's exchange
+count grows with lg²P while columnsort's is flat. The §6 future-work
+distribution sort is included, with its skew sensitivity quantified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spmd import run_spmd
+from repro.oocs.incore.bitonic import distributed_bitonic_sort
+from repro.oocs.incore.columnsort_dist import distributed_columnsort
+from repro.oocs.incore.radix import distributed_radix_sort
+from repro.oocs.incore.sample import distributed_sample_sort
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+
+FMT = RecordFormat("u8", 64)
+
+SORTS = {
+    "columnsort": distributed_columnsort,
+    "bitonic": distributed_bitonic_sort,
+    "radix": distributed_radix_sort,
+    "sample": distributed_sample_sort,
+}
+
+P = 8
+N_LOCAL = 4096  # representative sort-stage share (M/P scaled down)
+
+
+def _run(fn, recs, p=P, **kw):
+    n_local = len(recs) // p
+
+    def prog(comm):
+        local = recs[comm.rank * n_local : (comm.rank + 1) * n_local]
+        fn(comm, local, FMT, **kw)
+        return comm.stats.snapshot()["network_bytes"]
+
+    return sum(run_spmd(p, prog).returns)
+
+
+@pytest.mark.parametrize("name", sorted(SORTS))
+def test_incore_sort_timing(benchmark, name):
+    """Wall time of each distributed sort at a sort-stage-representative
+    size (pytest-benchmark groups these for comparison)."""
+    recs = generate("uniform", FMT, P * N_LOCAL, seed=1)
+    benchmark.group = "incore-sort"
+    benchmark(_run, SORTS[name], recs)
+
+
+def test_bitonic_moves_more_data(benchmark, show):
+    """§4's result, in communication volume: bitonic > columnsort."""
+    recs = generate("uniform", FMT, P * N_LOCAL, seed=2)
+
+    def measure():
+        return {name: _run(fn, recs) for name, fn in SORTS.items()}
+
+    volumes = benchmark(measure)
+    assert volumes["bitonic"] > volumes["columnsort"]
+    show(
+        f"Network bytes, P={P}, {P * N_LOCAL} records",
+        "\n".join(f"{k:11s} {v:>12,}" for k, v in sorted(volumes.items())),
+    )
+
+
+def test_columnsort_traffic_independent_of_keys(benchmark, show):
+    """The deciding §4 argument: columnsort's communication pattern is
+    oblivious to key values; sample sort's is not."""
+    uniform = generate("uniform", FMT, P * N_LOCAL, seed=3)
+    skewed = generate("zipf", FMT, P * N_LOCAL, seed=3)
+
+    def measure():
+        return {
+            "columnsort/uniform": _run(distributed_columnsort, uniform),
+            "columnsort/zipf": _run(distributed_columnsort, skewed),
+            "sample/uniform": _run(distributed_sample_sort, uniform),
+            "sample/zipf": _run(distributed_sample_sort, skewed),
+        }
+
+    volumes = benchmark(measure)
+    assert volumes["columnsort/uniform"] == volumes["columnsort/zipf"]
+    assert volumes["sample/uniform"] != volumes["sample/zipf"]
+    show(
+        "Key-obliviousness (network bytes)",
+        "\n".join(f"{k:20s} {v:>12,}" for k, v in volumes.items()),
+    )
+
+
+def test_radix_traffic_scales_with_key_width(benchmark, show):
+    """Radix sort's key-format dependence: traffic is proportional to
+    the number of nonzero key digits."""
+    narrow = FMT.make(
+        np.random.default_rng(4).integers(0, 2**16, size=P * N_LOCAL, dtype=np.uint64)
+    )
+    wide = FMT.make(
+        np.random.default_rng(4).integers(0, 2**63, size=P * N_LOCAL, dtype=np.uint64)
+    )
+
+    def measure():
+        return {
+            "radix/16-bit keys": _run(distributed_radix_sort, narrow),
+            "radix/63-bit keys": _run(distributed_radix_sort, wide),
+            "columnsort/16-bit keys": _run(distributed_columnsort, narrow),
+            "columnsort/63-bit keys": _run(distributed_columnsort, wide),
+        }
+
+    volumes = benchmark(measure)
+    assert volumes["radix/63-bit keys"] > 2 * volumes["radix/16-bit keys"]
+    assert (
+        volumes["columnsort/16-bit keys"] == volumes["columnsort/63-bit keys"]
+    )
+    show(
+        "Key-width sensitivity (network bytes)",
+        "\n".join(f"{k:24s} {v:>12,}" for k, v in volumes.items()),
+    )

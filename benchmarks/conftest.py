@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's results (Figure 2 or an
+in-text table — see DESIGN.md's experiment index), times the
+regeneration with pytest-benchmark, asserts the paper's qualitative
+claims about it, and prints the regenerated rows so a run of
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print helper that survives captured output (-s not required for
+    the data to be validated; printing is best-effort)."""
+
+    def _show(title: str, body: str) -> None:
+        print(f"\n=== {title} ===\n{body}")
+
+    return _show

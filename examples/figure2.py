@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 2 and check every §5 claim.
+
+The discrete-event model simulates the pipelined passes at the paper's
+full experimental scale (4-32 GB, P ∈ {4, 8, 16}, buffers 2^24/2^25 B)
+on the calibrated BEOWULF_2003 hardware profile. No data moves — the
+algorithms' traces are oblivious to key values, so timing is a pure
+function of the configuration.
+
+Run:  python examples/figure2.py
+"""
+
+from repro.experiments.figure2 import (
+    figure2_claims,
+    figure2_series,
+    render_figure2,
+)
+
+series = figure2_series()
+print(render_figure2(series))
+
+print("\nClaims from the paper's §5, checked against the regenerated data:")
+for claim, ok in figure2_claims(series).items():
+    print(f"  [{'ok' if ok else 'FAIL'}] {claim}")
+
+print("""
+Reading the figure like the paper does:
+ * threaded columnsort hugs the 3-pass baseline (it is I/O-bound) but
+   exists only at the small end — restriction (1);
+ * subblock columnsort hugs the 4-pass baseline (one extra pass, still
+   I/O-bound); its two buffer lines cover DISJOINT sizes, factor-of-4
+   apart, because s must be a power of 4;
+ * M-columnsort runs at every size, above the 3-pass baseline (its
+   distributed sort stage is not free) yet always at or below subblock.
+""")

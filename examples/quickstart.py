@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: sort records out of core with all four algorithms.
+
+Builds a simulated 4-processor cluster (one virtual disk per processor,
+backed by temp files), generates a million bytes' worth of 64-byte
+records, and runs each columnsort variant. Every run is verified: the
+PDM-ordered output must be a sorted permutation of the input with
+intact keys.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, RecordFormat, generate, sort_out_of_core
+
+fmt = RecordFormat("u8", 64)
+cluster = ClusterConfig(p=4, mem_per_proc=2**12)  # 4096 records of RAM/proc
+
+print(f"cluster: P={cluster.p}, D={cluster.virtual_disks}, "
+      f"M/P={cluster.mem_per_proc} records\n")
+
+# Per-algorithm shapes. `buffer_records` is the paper's r: the column
+# height for threaded/subblock, the per-processor column portion for
+# m/hybrid. Note subblock's buffer is HALF of threaded's for the same
+# column count — that is bound (2) at work.
+runs = {
+    "threaded": (generate("uniform", fmt, 8192, seed=1), 512),
+    "subblock": (generate("zipf", fmt, 4096, seed=2), 256),
+    "m": (generate("duplicates", fmt, 16384, seed=3), 256),
+    "hybrid": (generate("reverse", fmt, 16384, seed=4), 256),
+}
+
+for algorithm, (records, buffer_records) in runs.items():
+    result = sort_out_of_core(
+        algorithm, records, cluster, fmt, buffer_records=buffer_records
+    )  # verify=True by default — raises VerificationError on any corruption
+    io = result.io
+    print(f"{algorithm:9s} N={len(records):6d}  passes={result.passes}  "
+          f"disk I/O={io['bytes_read'] + io['bytes_written']:>10,} B  "
+          f"network={result.comm_total['network_bytes']:>9,} B")
+
+print("\nall outputs verified: sorted, PDM-striped, true permutations")

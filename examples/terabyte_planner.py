@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Capacity planner: which columnsort variant can sort your dataset?
+
+The paper's bounds, turned into a tool. Give it a cluster shape and a
+dataset, and it reports each algorithm's maximum problem size, whether
+your dataset fits, and the M-vs-subblock crossover for your processor
+count — including the paper's own worked example (§1): 16 processors
+with 2^19 records of memory each can sort a full terabyte under
+M-columnsort.
+
+Run:  python examples/terabyte_planner.py [total_gb] [p] [log2_mem_per_proc]
+"""
+
+import sys
+
+from repro.bounds import (
+    crossover_memory,
+    improvement_factor,
+    m_beats_subblock,
+    max_pow2_n,
+    restriction_table,
+    terabyte_config,
+)
+
+total_gb = int(sys.argv[1]) if len(sys.argv) > 1 else 1024  # 1 TB default
+p = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+log2_mem = int(sys.argv[3]) if len(sys.argv) > 3 else 19
+record_size = 64
+
+mem_per_proc = 1 << log2_mem
+n_needed = total_gb * 2**30 // record_size
+bounds = restriction_table(mem_per_proc, p)
+
+print(f"cluster: P={p}, M/P=2^{log2_mem} records "
+      f"({mem_per_proc * record_size / 2**20:.0f} MiB at {record_size} B/record)")
+print(f"dataset: {total_gb} GB = {n_needed:,} records\n")
+
+print(f"{'algorithm':<14}{'bound (records)':>18}{'max power-of-2 N':>18}"
+      f"{'fits?':>7}{'passes':>8}")
+passes = {"threaded": 3, "subblock": 4, "m": 3, "hybrid": 4}
+for algorithm, bound in bounds.items():
+    fits = "yes" if n_needed <= max_pow2_n(bound) else "no"
+    print(f"{algorithm:<14}{bound:>18,}{max_pow2_n(bound):>18,}"
+          f"{fits:>7}{passes[algorithm]:>8}")
+
+print(f"\nsubblock extends threaded by ×{improvement_factor(mem_per_proc):.2f} "
+      f"(>2 whenever M/P ≥ 2^12 — paper §1)")
+
+m_total = mem_per_proc * p
+crossover = crossover_memory(p)
+winner = "M-columnsort" if m_beats_subblock(m_total, p) else "subblock columnsort"
+print(f"crossover at P={p}: M {'<' if m_total < crossover else '≥'} 32·P^10 "
+      f"= 2^{crossover.bit_length() - 1} records → {winner} reaches further")
+
+paper = terabyte_config()
+print(f"\npaper's worked example: P={paper.p}, M/P=2^19, 64-byte records → "
+      f"up to {paper.max_bytes / 2**40:.0f} TB under M-columnsort")

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP
+517/660 builds (which need ``bdist_wheel``) cannot run. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path using only the locally installed setuptools.
+"""
+
+from setuptools import setup
+
+setup()

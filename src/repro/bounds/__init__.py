@@ -1,0 +1,42 @@
+"""Problem-size restrictions and their consequences.
+
+The quantitative heart of the paper: restriction (1) for threaded
+columnsort, (2) for subblock columnsort, (3) for M-columnsort, the
+hybrid bound of §6, the crossover ``M < 32·P^10`` (§5), and the worked
+examples of §1 (more-than-double at ``M/P ≥ 2^12``; a terabyte on 16
+processors).
+"""
+
+from repro.bounds.restrictions import (
+    max_n_hybrid,
+    max_n_m_columnsort,
+    max_n_subblock,
+    max_n_threaded,
+    max_pow2_n,
+    restriction_table,
+)
+from repro.bounds.analysis import (
+    crossover_memory,
+    eligible_problem_sizes,
+    improvement_factor,
+    log2_improvement_summary,
+    m_beats_subblock,
+    max_n_for_buffer,
+    terabyte_config,
+)
+
+__all__ = [
+    "max_n_threaded",
+    "max_n_subblock",
+    "max_n_m_columnsort",
+    "max_n_hybrid",
+    "max_pow2_n",
+    "restriction_table",
+    "crossover_memory",
+    "m_beats_subblock",
+    "improvement_factor",
+    "eligible_problem_sizes",
+    "max_n_for_buffer",
+    "log2_improvement_summary",
+    "terabyte_config",
+]

@@ -1,0 +1,184 @@
+"""Consequences of the bounds: crossovers, improvement factors, and
+eligible problem sizes.
+
+These functions back the T-bounds and T-crossover experiments and the
+worked numeric claims of §1 and §5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bounds.restrictions import (
+    max_n_m_columnsort,
+    max_n_subblock,
+    max_n_threaded,
+)
+from repro.errors import ConfigError
+from repro.matrix.bits import is_power_of_four, is_power_of_two
+
+
+def crossover_memory(p: int) -> int:
+    """The §5 crossover: M-columnsort reaches larger problem sizes than
+    subblock columnsort exactly when the total memory ``M < 32·P^10``
+    records.
+
+    >>> crossover_memory(8) == 32 * 8**10 == 2**35
+    True
+    """
+    if p < 1:
+        raise ConfigError(f"P must be ≥ 1, got {p}")
+    return 32 * p**10
+
+
+def m_beats_subblock(total_mem: int, p: int) -> bool:
+    """Whether M-columnsort's bound exceeds subblock columnsort's for
+    this machine (checked from the bounds themselves, not the closed
+    form — the closed form is what the tests verify against)."""
+    if total_mem % p:
+        raise ConfigError(f"P={p} must divide M={total_mem}")
+    return max_n_m_columnsort(total_mem) > max_n_subblock(total_mem // p)
+
+
+def improvement_factor(mem_per_proc: int) -> float:
+    """How much further subblock columnsort reaches than threaded
+    columnsort: ``bound(2)/bound(1) = (M/P)^(1/6) · √2 / 4^(2/3)``.
+
+    The paper's §1 claim: for ``M/P ≥ 2^12`` this exceeds 2 ("more than
+    double the largest problem size").
+
+    >>> improvement_factor(2**12) > 2
+    True
+    """
+    if mem_per_proc < 1:
+        raise ConfigError(f"mem_per_proc must be ≥ 1, got {mem_per_proc}")
+    return max_n_subblock(mem_per_proc) / max_n_threaded(mem_per_proc)
+
+
+@dataclass(frozen=True)
+class TerabyteConfig:
+    """The §1 worked example: the cluster that sorts a terabyte."""
+
+    p: int
+    mem_per_proc: int
+    record_size: int
+    max_records: int
+    max_bytes: int
+
+
+def terabyte_config(
+    p: int = 16, mem_per_proc: int = 2**19, record_size: int = 64
+) -> TerabyteConfig:
+    """The paper's terabyte example: 16 processors with ``M/P = 2^19``
+    records sort up to ``M^(3/2)/√2 = 2^34`` records — one terabyte at
+    64 bytes each — under M-columnsort.
+
+    >>> terabyte_config().max_bytes == 2**40
+    True
+    """
+    bound = max_n_m_columnsort(p * mem_per_proc)
+    return TerabyteConfig(
+        p=p,
+        mem_per_proc=mem_per_proc,
+        record_size=record_size,
+        max_records=bound,
+        max_bytes=bound * record_size,
+    )
+
+
+def eligible_problem_sizes(
+    algorithm: str,
+    buffer_records: int,
+    p: int,
+    n_min: int,
+    n_max: int,
+) -> list[int]:
+    """Power-of-2 problem sizes in ``[n_min, n_max]`` that the algorithm
+    can run at this buffer size — the reason Figure 2's subblock lines
+    cover *disjoint* problem sizes differing by factors of 4, while
+    M-columnsort covers every power of 2 (§5).
+
+    ``buffer_records`` is the per-processor buffer ``r`` (the column
+    portion for ``"m"``/``"hybrid"``).
+    """
+    if not is_power_of_two(buffer_records) or not is_power_of_two(p):
+        raise ConfigError("buffer_records and p must be powers of 2")
+    out: list[int] = []
+    n = 1
+    while n < n_min:
+        n <<= 1
+    while n <= n_max:
+        if _eligible(algorithm, n, buffer_records, p):
+            out.append(n)
+        n <<= 1
+    return out
+
+
+def _eligible(algorithm: str, n: int, buffer_records: int, p: int) -> bool:
+    if algorithm in ("threaded", "subblock"):
+        r = buffer_records
+        if n % r:
+            return False
+        s = n // r
+        if s < p or s % p:
+            return False
+        if algorithm == "threaded":
+            return r >= 2 * s * s
+        return is_power_of_four(s) and r * r >= 16 * s**3
+    if algorithm in ("m", "hybrid"):
+        m = buffer_records * p
+        if n % m:
+            return False
+        s = n // m
+        if buffer_records % s or buffer_records < 2 * p * p:
+            return False
+        if algorithm == "m":
+            return m >= 2 * s * s
+        return is_power_of_four(s) and m * m >= 16 * s**3
+    raise ConfigError(f"unknown algorithm {algorithm!r}")
+
+
+def max_n_for_buffer(algorithm: str, buffer_records: int, p: int) -> int:
+    """Largest eligible power-of-2 ``N`` at a fixed buffer size (the
+    operational cap — e.g. why the paper's threaded runs stop at 4 GB)."""
+    ceiling = buffer_records * p  # r·s with s as large as the checks allow
+    # s is at most r (threaded: s ≤ sqrt(r/2)); scan downward from a
+    # generous ceiling of r² · p.
+    best = 0
+    n = 1
+    limit = buffer_records * buffer_records * p * 2
+    while n <= limit:
+        if _eligible(algorithm, n, buffer_records, p):
+            best = n
+        n <<= 1
+    if best == 0:
+        raise ConfigError(
+            f"no eligible problem size for {algorithm} at buffer="
+            f"{buffer_records}, P={p}"
+        )
+    return best
+
+
+def log2_improvement_summary(mem_exponents: range, p: int) -> list[dict]:
+    """Rows for the T-bounds table: for each ``M/P = 2^a``, the four
+    bounds and the subblock/threaded improvement factor."""
+    from repro.bounds.restrictions import restriction_table
+
+    rows = []
+    for a in mem_exponents:
+        mem = 1 << a
+        row = restriction_table(mem, p)
+        rows.append(
+            {
+                "mem_per_proc": mem,
+                "log2_mem": a,
+                **{k: v for k, v in row.items()},
+                "improvement": row["subblock"] / row["threaded"],
+                "log2_threaded": math.log2(row["threaded"]),
+                "log2_subblock": math.log2(row["subblock"]),
+                "log2_m": math.log2(row["m"]),
+                "log2_hybrid": math.log2(row["hybrid"]),
+            }
+        )
+    return rows

@@ -1,0 +1,110 @@
+"""The four problem-size restrictions.
+
+With ``r`` the column height and ``s = N/r``, the height restriction
+bounds ``N = r·s``:
+
+=========  ===================  ==================  =======================
+algorithm  height restriction   height interp.      problem-size bound
+=========  ===================  ==================  =======================
+threaded   ``r ≥ 2s²``          ``r = M/P``         ``N ≤ (M/P)^(3/2)/√2``    (1)
+subblock   ``r ≥ 4·s^(3/2)``    ``r = M/P``         ``N ≤ (M/P)^(5/3)/4^(2/3)``  (2)
+M          ``r ≥ 2s²``          ``r = M``           ``N ≤ M^(3/2)/√2``        (3)
+hybrid     ``r ≥ 4·s^(3/2)``    ``r = M``           ``N ≤ M^(5/3)/4^(2/3)``   (§6)
+=========  ===================  ==================  =======================
+
+Bounds are computed exactly in integer arithmetic (``isqrt`` of cubes
+and fifth powers) — no floating-point round-off at the terabyte scales
+the paper cares about.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+def _check_positive(**kwargs: int) -> None:
+    for name, value in kwargs.items():
+        if value < 1:
+            raise ConfigError(f"{name} must be ≥ 1, got {value}")
+
+
+def max_n_threaded(mem_per_proc: int) -> int:
+    """Restriction (1): ``⌊(M/P)^(3/2)/√2⌋ = ⌊√((M/P)³/2)⌋`` records.
+
+    >>> max_n_threaded(512)  # = sqrt(512^3 / 2)
+    8192
+    """
+    _check_positive(mem_per_proc=mem_per_proc)
+    return math.isqrt(mem_per_proc**3 // 2)
+
+
+def max_n_subblock(mem_per_proc: int) -> int:
+    """Restriction (2): ``⌊(M/P)^(5/3)/4^(2/3)⌋`` records — computed as
+    ``⌊((M/P)⁵/4²)^(1/3)⌋`` by integer cube root."""
+    _check_positive(mem_per_proc=mem_per_proc)
+    return _icbrt(mem_per_proc**5 // 16)
+
+
+def max_n_m_columnsort(total_mem: int) -> int:
+    """Restriction (3): ``⌊M^(3/2)/√2⌋`` records — restriction (1) with
+    ``M/P`` replaced by the whole system's memory ``M``."""
+    _check_positive(total_mem=total_mem)
+    return math.isqrt(total_mem**3 // 2)
+
+
+def max_n_hybrid(total_mem: int) -> int:
+    """The §6 future-work bound: ``⌊M^(5/3)/4^(2/3)⌋`` records."""
+    _check_positive(total_mem=total_mem)
+    return _icbrt(total_mem**5 // 16)
+
+
+def _icbrt(n: int) -> int:
+    """Integer cube root (exact floor), by Newton iteration on integers
+    — float seeding alone is off by millions at the 2^255-scale inputs
+    the crossover table produces."""
+    if n < 0:
+        raise ConfigError(f"cube root of negative {n}")
+    if n == 0:
+        return 0
+    x = 1 << -(-n.bit_length() // 3)  # ≥ floor(cbrt(n))
+    while True:
+        y = (2 * x + n // (x * x)) // 3
+        if y >= x:
+            break
+        x = y
+    while x**3 > n:
+        x -= 1
+    while (x + 1) ** 3 <= n:
+        x += 1
+    return x
+
+
+def max_pow2_n(bound: int) -> int:
+    """The largest power-of-2 problem size within a bound (the
+    out-of-core setting requires power-of-2 ``N``).
+
+    >>> max_pow2_n(8192), max_pow2_n(8191)
+    (8192, 4096)
+    """
+    _check_positive(bound=bound)
+    return 1 << (bound.bit_length() - 1)
+
+
+def restriction_table(mem_per_proc: int, p: int) -> dict[str, int]:
+    """All four bounds for a machine shape — one row of the T-bounds
+    experiment.
+
+    >>> row = restriction_table(2**19, 16)
+    >>> row["m"] == 2**34   # the paper's terabyte example (§1)
+    True
+    """
+    _check_positive(mem_per_proc=mem_per_proc, p=p)
+    m = mem_per_proc * p
+    return {
+        "threaded": max_n_threaded(mem_per_proc),
+        "subblock": max_n_subblock(mem_per_proc),
+        "m": max_n_m_columnsort(m),
+        "hybrid": max_n_hybrid(m),
+    }

@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+``repro-columnsort <command>`` (or ``python -m repro.cli``):
+
+* ``figure2`` — regenerate the paper's Figure 2 from the calibrated model;
+* ``report`` — Figure 2 plus every table and the claim checklist;
+* ``bounds`` / ``crossover`` / ``msgcount`` / ``coverage`` — individual tables;
+* ``sort`` — run a real (laptop-scale) out-of-core sort on the simulated
+  cluster and verify the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster.config import ClusterConfig
+from repro.records.format import RecordFormat
+from repro.records.generators import generate, workload_names
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import figure2_series, render_figure2
+
+    print(render_figure2(figure2_series(record_size=args.record_size)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import full_report
+
+    print(full_report())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    fn = {
+        "bounds": tables.bounds_table,
+        "crossover": tables.crossover_table,
+        "msgcount": tables.msgcount_table,
+        "coverage": tables.coverage_table,
+    }[args.command]
+    print(tables.render_table(fn()))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.simulate.hardware import BEOWULF_2003, MODERN_NVME
+    from repro.simulate.predict import predict_seconds_per_gb
+
+    hw = {"beowulf-2003": BEOWULF_2003, "modern-nvme": MODERN_NVME}[args.hardware]
+    n = args.gb * 2**30 // args.record_size
+    try:
+        value = predict_seconds_per_gb(
+            args.algorithm, n, args.processors, args.buffer_bytes,
+            args.record_size, hw, passes=args.passes,
+        )
+    except Exception as exc:
+        print(f"configuration not runnable: {exc}")
+        return 1
+    print(
+        f"{args.algorithm} on {args.gb} GB, P={args.processors}, buffer "
+        f"{args.buffer_bytes:,} B ({hw.name}): "
+        f"{value:.1f} s per (GB/processor) — "
+        f"{value * args.gb / args.processors:.1f} s total"
+    )
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.oocs.api import sort_out_of_core
+
+    fmt = RecordFormat(args.key, args.record_size)
+    cluster = ClusterConfig(p=args.processors, mem_per_proc=args.buffer * 2)
+    records = generate(args.workload, fmt, args.records, seed=args.seed)
+    if getattr(args, "group_size", None) is not None:
+        from repro.oocs.gcolumnsort import sort_with_group_size
+
+        result = sort_with_group_size(
+            records, cluster, fmt, args.buffer, group_size=args.group_size,
+            workdir=args.workdir,
+        )
+        print(
+            f"{result.algorithm}: sorted {len(records)} records on "
+            f"P={cluster.p} in {result.passes} passes — verified"
+        )
+        print(
+            f"  network: {result.comm_total['network_bytes']:,} B in "
+            f"{result.comm_total['network_messages']} messages"
+        )
+        return 0
+    result = sort_out_of_core(
+        args.algorithm, records, cluster, fmt, buffer_records=args.buffer,
+        workdir=args.workdir,
+    )
+    io = result.io
+    print(
+        f"{args.algorithm}: sorted {args.records} records on P={args.processors} "
+        f"in {result.passes} passes — verified"
+    )
+    print(
+        f"  disk I/O: {io['bytes_read']:,} B read / {io['bytes_written']:,} B "
+        f"written ({io['reads']} reads, {io['writes']} writes)"
+    )
+    print(
+        f"  network: {result.comm_total['network_bytes']:,} B in "
+        f"{result.comm_total['network_messages']} messages"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-columnsort",
+        description="Out-of-core columnsort with relaxed problem-size bounds "
+        "(Chaudhry, Hamon & Cormen, SPAA 2003) on a simulated cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure2", help="regenerate the paper's Figure 2")
+    fig.add_argument("--record-size", type=int, default=64)
+    fig.set_defaults(fn=_cmd_figure2)
+
+    rep = sub.add_parser("report", help="full experiment report")
+    rep.set_defaults(fn=_cmd_report)
+
+    for name, help_text in (
+        ("bounds", "problem-size bound table"),
+        ("crossover", "M vs subblock crossover table"),
+        ("msgcount", "subblock-pass message counts"),
+        ("coverage", "eligible problem sizes per algorithm"),
+    ):
+        t = sub.add_parser(name, help=help_text)
+        t.set_defaults(fn=_cmd_table)
+
+    srt = sub.add_parser("sort", help="run and verify a real out-of-core sort")
+    srt.add_argument(
+        "--algorithm", choices=("threaded", "subblock", "m", "hybrid"),
+        default="threaded",
+    )
+    srt.add_argument("--records", type=int, default=8192)
+    srt.add_argument("--buffer", type=int, default=512,
+                     help="per-processor buffer in records")
+    srt.add_argument("--processors", "-p", type=int, default=4)
+    srt.add_argument("--record-size", type=int, default=64)
+    srt.add_argument("--key", choices=("u8", "i8", "f8", "u4", "i4"), default="u8")
+    srt.add_argument("--workload", choices=workload_names(), default="uniform")
+    srt.add_argument("--seed", type=int, default=0)
+    srt.add_argument("--workdir", default=None)
+    srt.add_argument(
+        "--group-size", "-g", type=int, default=None,
+        help="adjustable height interpretation: run g-columnsort with "
+             "r = g·buffer (overrides --algorithm)",
+    )
+    srt.set_defaults(fn=_cmd_sort)
+
+    prd = sub.add_parser(
+        "predict", help="predicted runtime for a configuration (no data moved)"
+    )
+    prd.add_argument(
+        "--algorithm",
+        choices=("threaded", "subblock", "m", "hybrid", "baseline-io"),
+        default="threaded",
+    )
+    prd.add_argument("--gb", type=int, default=4, help="total data, GB")
+    prd.add_argument("--processors", "-p", type=int, default=4)
+    prd.add_argument("--buffer-bytes", type=int, default=2**25)
+    prd.add_argument("--record-size", type=int, default=64)
+    prd.add_argument("--passes", type=int, default=3,
+                     help="baseline-io pass count")
+    prd.add_argument(
+        "--hardware", choices=("beowulf-2003", "modern-nvme"),
+        default="beowulf-2003",
+    )
+    prd.set_defaults(fn=_cmd_predict)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

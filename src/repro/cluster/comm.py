@@ -1,0 +1,332 @@
+"""MPI-like communicator for the in-process SPMD engine.
+
+The interface follows mpi4py's lowercase (object) methods: ``send`` /
+``recv`` / ``bcast`` / ``scatter`` / ``gather`` / ``allgather`` /
+``alltoall`` / ``allreduce`` — plus ``alltoallv`` taking one array per
+destination (the shape every columnsort communicate stage uses).
+
+Semantics intentionally modeled on MPI:
+
+* **copy-on-send** — NumPy arrays are copied as they enter the fabric,
+  so a sender mutating its buffer after ``send`` cannot corrupt the
+  message (there is no shared memory between "nodes");
+* **non-overtaking order** per (source, dest, tag);
+* collectives must be called by every rank in the same order; a
+  mismatch raises :class:`~repro.errors.CommError` (detected via the
+  operation name traveling with each internal message) rather than
+  deadlocking.
+
+Every send is metered by :class:`~repro.cluster.stats.CommStats`,
+self-messages and network messages separately (paper §3 reasons about
+exactly this split).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.mailbox import MailboxRouter
+from repro.cluster.stats import CommStats
+from repro.errors import CommError
+
+
+def _isolate(payload: object) -> object:
+    """Copy array payloads entering the fabric (no shared memory between
+    simulated nodes). Non-array payloads are control-plane metadata and
+    are passed through; senders must not mutate them after sending."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, (list, tuple)):
+        return type(payload)(_isolate(x) for x in payload)
+    return payload
+
+
+class Comm:
+    """One rank's endpoint of the SPMD world."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        router: MailboxRouter,
+        stats: CommStats | None = None,
+    ) -> None:
+        self._rank = rank
+        self._size = size
+        self._router = router
+        self.stats = stats if stats is not None else CommStats(rank=rank)
+        self._epoch = 0
+
+    @property
+    def rank(self) -> int:
+        """This rank's index, ``0 .. size-1``."""
+        return self._rank
+
+    def _top_rank(self) -> int:
+        """This rank's index in the top-level world (sub-communicators
+        override; used to give split groups globally unique identity)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world (the cluster's ``P``)."""
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+
+    def send(self, payload: object, dest: int, tag: int = 0) -> None:
+        """Send ``payload`` to ``dest``. Never blocks (buffered)."""
+        self._check_rank(dest)
+        self.stats.record_send(dest, payload, "send")
+        self._router.put(self._rank, dest, ("p2p", tag), _isolate(payload))
+
+    def recv(self, source: int, tag: int = 0) -> object:
+        """Receive the next message from ``source`` on ``tag``."""
+        self._check_rank(source)
+        return self._router.get(source, self._rank, ("p2p", tag))
+
+    def sendrecv(
+        self, payload: object, dest: int, source: int | None = None, tag: int = 0
+    ) -> object:
+        """Combined send+receive (safe against exchange deadlock)."""
+        if source is None:
+            source = dest
+        self.send(payload, dest, tag)
+        return self.recv(source, tag)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+
+    def _coll_tag(self) -> tuple:
+        tag = ("coll", self._epoch)
+        self._epoch += 1
+        return tag
+
+    def _coll_send(self, dest: int, tag: tuple, op: str, payload: object) -> None:
+        self.stats.record_send(dest, payload, op)
+        self._router.put(self._rank, dest, tag, (op, _isolate(payload)))
+
+    def _coll_put_unmetered(self, dest: int, tag: tuple, op: str, payload) -> None:
+        """Deliver without counting as a message (empty alltoallv slots)."""
+        self._router.put(self._rank, dest, tag, (op, payload))
+
+    def _coll_recv(self, source: int, tag: tuple, op: str) -> object:
+        got_op, payload = self._router.get(source, self._rank, tag)
+        if got_op != op:
+            raise CommError(
+                f"collective mismatch on rank {self._rank}: expected {op!r} "
+                f"from rank {source}, found {got_op!r} — ranks are calling "
+                f"collectives in different orders"
+            )
+        return payload
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._size:
+            raise CommError(f"rank {rank} out of range for size {self._size}")
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        tag = self._coll_tag()
+        for dest in range(self._size):
+            self._coll_send(dest, tag, "barrier", None)
+        for source in range(self._size):
+            self._coll_recv(source, tag, "barrier")
+
+    def bcast(self, payload: object, root: int = 0) -> object:
+        """Broadcast ``payload`` from ``root``; every rank returns it."""
+        self._check_rank(root)
+        tag = self._coll_tag()
+        if self._rank == root:
+            for dest in range(self._size):
+                self._coll_send(dest, tag, "bcast", payload)
+        return self._coll_recv(root, tag, "bcast")
+
+    def scatter(self, payloads: Sequence[object] | None, root: int = 0) -> object:
+        """Rank ``root`` provides one payload per rank; each rank returns
+        its own."""
+        self._check_rank(root)
+        tag = self._coll_tag()
+        if self._rank == root:
+            if payloads is None or len(payloads) != self._size:
+                raise CommError(
+                    f"scatter root must supply exactly {self._size} payloads"
+                )
+            for dest in range(self._size):
+                self._coll_send(dest, tag, "scatter", payloads[dest])
+        return self._coll_recv(root, tag, "scatter")
+
+    def gather(self, payload: object, root: int = 0) -> list | None:
+        """Gather one payload per rank at ``root`` (others return None)."""
+        self._check_rank(root)
+        tag = self._coll_tag()
+        self._coll_send(root, tag, "gather", payload)
+        if self._rank != root:
+            return None
+        return [self._coll_recv(source, tag, "gather") for source in range(self._size)]
+
+    def allgather(self, payload: object) -> list:
+        """Gather one payload per rank at every rank."""
+        tag = self._coll_tag()
+        for dest in range(self._size):
+            self._coll_send(dest, tag, "allgather", payload)
+        return [
+            self._coll_recv(source, tag, "allgather") for source in range(self._size)
+        ]
+
+    def alltoall(self, payloads: Sequence[object]) -> list:
+        """Each rank provides one payload per destination; returns the
+        payloads addressed to this rank, indexed by source."""
+        if len(payloads) != self._size:
+            raise CommError(
+                f"alltoall needs exactly {self._size} payloads, got {len(payloads)}"
+            )
+        tag = self._coll_tag()
+        for dest in range(self._size):
+            self._coll_send(dest, tag, "alltoall", payloads[dest])
+        return [
+            self._coll_recv(source, tag, "alltoall") for source in range(self._size)
+        ]
+
+    def alltoallv(self, arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """All-to-all of variable-length record arrays — the shape of
+        every columnsort communicate stage.
+
+        Empty arrays are still delivered (the receive side stays uniform)
+        but are not metered: the paper counts *messages carrying records*
+        (§3 properties 1-3), so the stats must match that accounting."""
+        if len(arrays) != self._size:
+            raise CommError(
+                f"alltoallv needs exactly {self._size} arrays, got {len(arrays)}"
+            )
+        tag = self._coll_tag()
+        for dest in range(self._size):
+            arr = arrays[dest]
+            if len(arr) == 0:
+                self._coll_put_unmetered(dest, tag, "alltoallv", arr.copy())
+                continue
+            self._coll_send(dest, tag, "alltoallv", arr)
+        return [
+            self._coll_recv(source, tag, "alltoallv") for source in range(self._size)
+        ]
+
+    def allreduce(self, value, op: Callable = None):
+        """Combine one value per rank with ``op`` (default: sum) and
+        return the result on every rank."""
+        parts = self.allgather(value)
+        if op is None:
+            total = parts[0]
+            for part in parts[1:]:
+                total = total + part
+            return total
+        result = parts[0]
+        for part in parts[1:]:
+            result = op(result, part)
+        return result
+
+    def exscan(self, value):
+        """Exclusive prefix sum across ranks (rank 0 gets 0) — used by
+        the distributed radix sort to place buckets."""
+        parts = self.allgather(value)
+        total = 0
+        for source in range(self._rank):
+            total = total + parts[source]
+        return total
+
+    # ------------------------------------------------------------------
+    # Sub-communicators
+    # ------------------------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Comm":
+        """MPI_Comm_split: ranks with equal ``color`` form a
+        sub-communicator, ordered by ``key`` (default: world rank).
+
+        The sub-communicator shares the world's message fabric but uses
+        namespaced tags, so point-to-point and collective traffic on the
+        child never collides with the parent's. Used by the adjustable
+        height interpretation (g-columnsort), whose sort stages are
+        distributed sorts *within* processor groups.
+        """
+        if key is None:
+            key = self._rank
+        membership = self.allgather((color, key, self._top_rank()))
+        members = sorted(
+            (k, top) for (c, k, top) in membership if c == color
+        )
+        top_ranks = [top for _, top in members]
+        return _SubComm(self, top_ranks)
+
+
+class _SubComm(Comm):
+    """A communicator over a subset of the world's ranks.
+
+    Routes through the top-level mailbox fabric using *top-level* rank
+    indices, with tags namespaced by the member list (itself expressed
+    in top-level ranks, so nested splits can never collide). Shares the
+    parent's :class:`CommStats` — communication is communication.
+    """
+
+    def __init__(self, parent: Comm, top_ranks: list[int]) -> None:
+        my_top = parent._top_rank()
+        if my_top not in top_ranks:
+            raise CommError(
+                f"rank {my_top} is not a member of the split group {top_ranks}"
+            )
+        self._top_ranks = top_ranks
+        self._my_top = my_top
+        self._group_id = tuple(top_ranks)
+        super().__init__(
+            rank=top_ranks.index(my_top),
+            size=len(top_ranks),
+            router=parent._router,
+            stats=parent.stats,
+        )
+
+    def _top_rank(self) -> int:
+        return self._my_top
+
+    def _top_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self._top_ranks[rank]
+
+    def send(self, payload: object, dest: int, tag: int = 0) -> None:
+        top_dest = self._top_of(dest)
+        self.stats.record_send(top_dest, payload, "send")
+        self._router.put(
+            self._my_top, top_dest, ("sub-p2p", self._group_id, tag),
+            _isolate(payload),
+        )
+
+    def recv(self, source: int, tag: int = 0) -> object:
+        return self._router.get(
+            self._top_of(source), self._my_top, ("sub-p2p", self._group_id, tag)
+        )
+
+    def _coll_tag(self) -> tuple:
+        tag = ("sub-coll", self._group_id, self._epoch)
+        self._epoch += 1
+        return tag
+
+    def _coll_send(self, dest: int, tag: tuple, op: str, payload: object) -> None:
+        top_dest = self._top_of(dest)
+        self.stats.record_send(top_dest, payload, op)
+        self._router.put(self._my_top, top_dest, tag, (op, _isolate(payload)))
+
+    def _coll_put_unmetered(self, dest: int, tag: tuple, op: str, payload) -> None:
+        self._router.put(self._my_top, self._top_of(dest), tag, (op, payload))
+
+    def _coll_recv(self, source: int, tag: tuple, op: str) -> object:
+        got_op, payload = self._router.get(
+            self._top_of(source), self._my_top, tag
+        )
+        if got_op != op:
+            raise CommError(
+                f"collective mismatch on sub-rank {self.rank}: expected "
+                f"{op!r} from sub-rank {source}, found {got_op!r}"
+            )
+        return payload
+

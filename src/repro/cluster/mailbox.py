@@ -1,0 +1,79 @@
+"""Thread-safe mailboxes backing point-to-point communication.
+
+One FIFO queue per ``(source, dest, tag)`` triple. MPI guarantees
+non-overtaking order between a fixed (source, dest, tag) pair; a queue
+per triple gives exactly that, while messages on different tags may be
+consumed in any order — matching the semantics the rank programs rely
+on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import defaultdict
+
+from repro.errors import CommError
+
+#: Default seconds a receive waits before declaring deadlock. Rank
+#: programs in this package exchange messages promptly; a stuck receive
+#: virtually always means mismatched sends/receives.
+DEFAULT_TIMEOUT = 120.0
+
+
+class MailboxRouter:
+    """The shared message fabric of one SPMD world."""
+
+    def __init__(self, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self._timeout = timeout
+        self._queues: dict[tuple[int, int, object], queue.SimpleQueue] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _queue_for(self, source: int, dest: int, tag: object) -> queue.SimpleQueue:
+        key = (source, dest, tag)
+        with self._lock:
+            q = self._queues.get(key)
+            if q is None:
+                q = self._queues[key] = queue.SimpleQueue()
+            return q
+
+    def put(self, source: int, dest: int, tag: object, payload: object) -> None:
+        if self._closed:
+            raise CommError("communicator has been shut down")
+        self._queue_for(source, dest, tag).put(payload)
+
+    def get(self, source: int, dest: int, tag: object) -> object:
+        # Poll in short slices so that a world shutdown (another rank
+        # failed) interrupts blocked receivers promptly instead of after
+        # the full deadlock timeout.
+        q = self._queue_for(source, dest, tag)
+        waited = 0.0
+        slice_s = 0.05
+        while True:
+            if self._closed:
+                raise CommError("communicator has been shut down")
+            try:
+                return q.get(timeout=slice_s)
+            except queue.Empty:
+                waited += slice_s
+                if waited >= self._timeout:
+                    raise CommError(
+                        f"receive timed out after {self._timeout}s: "
+                        f"rank {dest} waiting for (source={source}, tag={tag!r}) — "
+                        f"likely mismatched sends/receives or a collective mismatch"
+                    ) from None
+
+    def pending(self) -> dict[tuple[int, int, object], int]:
+        """Undelivered message counts per (source, dest, tag) — used by
+        tests to assert the fabric drains completely."""
+        with self._lock:
+            counts = defaultdict(int)
+            for key, q in self._queues.items():
+                n = q.qsize()
+                if n:
+                    counts[key] = n
+            return dict(counts)
+
+    def close(self) -> None:
+        self._closed = True

@@ -1,0 +1,54 @@
+"""In-core columnsort algorithms.
+
+* :mod:`~repro.columnsort.validation` — the dimension restrictions:
+  Leighton's height restriction ``r ≥ 2s²`` for basic columnsort and the
+  relaxed ``r ≥ 4·s^(3/2)`` (with ``s`` a power of 4) for subblock
+  columnsort, plus the power-of-two requirements of the out-of-core
+  setting;
+* :mod:`~repro.columnsort.basic` — Leighton's 8-step columnsort;
+* :mod:`~repro.columnsort.subblock` — the paper's 10-step subblock
+  columnsort (steps 3.1/3.2 inserted after step 3);
+* :mod:`~repro.columnsort.checks` — verification oracles: the subblock
+  property, sorted-run structure, and full-matrix sortedness;
+* :mod:`~repro.columnsort.zero_one` — exhaustive correctness checking
+  via the 0-1 principle (the algorithms are oblivious), including the
+  empirical height-restriction boundary.
+
+These operate on in-memory matrices; the out-of-core programs in
+:mod:`repro.oocs` realize the same step sequences as passes over disk.
+"""
+
+from repro.columnsort.validation import (
+    basic_height_ok,
+    max_s_basic,
+    max_s_subblock,
+    subblock_height_ok,
+    validate_basic,
+    validate_subblock,
+)
+from repro.columnsort.basic import columnsort, columnsort_steps
+from repro.columnsort.subblock import subblock_columnsort, subblock_columnsort_steps
+from repro.columnsort.checks import (
+    count_sorted_runs,
+    has_subblock_property,
+    min_run_length,
+)
+from repro.columnsort.zero_one import empirical_min_height, exhaustive_check
+
+__all__ = [
+    "validate_basic",
+    "validate_subblock",
+    "basic_height_ok",
+    "subblock_height_ok",
+    "max_s_basic",
+    "max_s_subblock",
+    "columnsort",
+    "columnsort_steps",
+    "subblock_columnsort",
+    "subblock_columnsort_steps",
+    "has_subblock_property",
+    "count_sorted_runs",
+    "min_run_length",
+    "exhaustive_check",
+    "empirical_min_height",
+]

@@ -1,0 +1,113 @@
+"""Leighton's 8-step columnsort.
+
+Sorts an ``r × s`` matrix (``s | r``, ``r ≥ 2s²``) into column-major
+order:
+
+====  =========================================
+step  operation
+====  =========================================
+1     sort each column
+2     transpose and reshape
+3     sort each column
+4     reshape and transpose (inverse of step 2)
+5     sort each column
+6     shift down by ``r/2`` (±∞ padding)
+7     sort each column (of the ``r × (s+1)`` matrix)
+8     shift up by ``r/2`` (inverse of step 6)
+====  =========================================
+
+The matrix may hold plain sortable scalars or structured record arrays
+with a ``key`` field (see :mod:`repro.matrix.layout`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.columnsort.validation import validate_basic
+from repro.matrix.layout import sort_columns
+from repro.matrix.permutations import shift_down, shift_up, step2, step4
+
+
+def _padding(matrix: np.ndarray, half: int) -> tuple[np.ndarray, np.ndarray]:
+    """±∞ padding rows for steps 6-8, matching the matrix's dtype."""
+    dtype = matrix.dtype
+    low = np.zeros(half, dtype=dtype)
+    high = np.zeros(half, dtype=dtype)
+    if dtype.names is not None:
+        info_dtype = dtype["key"]
+        lo_val, hi_val = _extremes(info_dtype)
+        low["key"] = lo_val
+        high["key"] = hi_val
+    else:
+        lo_val, hi_val = _extremes(dtype)
+        low[:] = lo_val
+        high[:] = hi_val
+    return low, high
+
+
+def _extremes(dtype: np.dtype) -> tuple[object, object]:
+    if dtype.kind in "iu":
+        info = np.iinfo(dtype)
+        return info.min, info.max
+    if dtype.kind == "f":
+        return -np.inf, np.inf
+    raise TypeError(f"cannot pad dtype {dtype} with ±∞ sentinels")
+
+
+def final_four_steps(matrix: np.ndarray) -> Iterator[tuple[str, np.ndarray]]:
+    """Steps 5-8, shared between basic and subblock columnsort."""
+    r, _ = matrix.shape
+    matrix = sort_columns(matrix)
+    yield "5:sort", matrix
+    low, high = _padding(matrix, r // 2)
+    matrix = shift_down(matrix, low, high)
+    yield "6:shift-down", matrix
+    matrix = sort_columns(matrix)
+    yield "7:sort", matrix
+    matrix = shift_up(matrix)
+    yield "8:shift-up", matrix
+
+
+def columnsort_steps(
+    matrix: np.ndarray, *, check: bool = True
+) -> Iterator[tuple[str, np.ndarray]]:
+    """Run columnsort one step at a time, yielding ``(label, matrix)``
+    after each step — the teaching/debugging interface (see
+    ``examples/incore_walkthrough.py``)."""
+    r, s = matrix.shape
+    if check:
+        validate_basic(r, s)
+    matrix = sort_columns(matrix)
+    yield "1:sort", matrix
+    matrix = step2(matrix)
+    yield "2:transpose-reshape", matrix
+    matrix = sort_columns(matrix)
+    yield "3:sort", matrix
+    matrix = step4(matrix)
+    yield "4:reshape-transpose", matrix
+    yield from final_four_steps(matrix)
+
+
+def columnsort(matrix: np.ndarray, *, check: bool = True) -> np.ndarray:
+    """Sort an ``r × s`` matrix into column-major order with Leighton's
+    8-step columnsort.
+
+    Parameters
+    ----------
+    matrix:
+        Shape ``(r, s)``; plain scalars or records with a ``key`` field.
+    check:
+        Validate the height restriction ``r ≥ 2s²`` first. Passing
+        ``check=False`` runs the steps regardless — useful for
+        demonstrating that the restriction is necessary (the algorithm may
+        then produce unsorted output).
+
+    Returns a new, sorted matrix; the input is not modified.
+    """
+    out = matrix
+    for _, out in columnsort_steps(matrix, check=check):
+        pass
+    return out

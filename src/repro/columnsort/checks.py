@@ -1,0 +1,76 @@
+"""Verification oracles for columnsort's structural claims.
+
+These implement, as executable checks, the properties the paper proves:
+
+* the **subblock property** (§3): a permutation moves all values of every
+  aligned ``√s × √s`` subblock into ``s`` distinct columns;
+* the **sorted-run structure** (§3): after the subblock permutation of
+  sorted columns, every target column consists of ``√s`` sorted runs of
+  length ``r/√s`` each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.matrix.bits import sqrt_pow4
+
+
+def has_subblock_property(target_fn, r: int, s: int) -> bool:
+    """Whether an index map ``(i, j, r, s) → (i', j')`` satisfies the
+    subblock property: each aligned ``√s × √s`` subblock maps onto all
+    ``s`` distinct target columns.
+
+    Checks every subblock exhaustively (there are ``(r/√s)·(√s)`` of
+    them); intended for test-sized matrices.
+    """
+    t = sqrt_pow4(s)
+    if r % t:
+        raise DimensionError(f"√s={t} must divide r, got r={r}")
+    ii, jj = np.meshgrid(np.arange(r), np.arange(s), indexing="ij")
+    _, tj = target_fn(ii, jj, r, s)
+    for bi in range(r // t):
+        for bj in range(s // t):
+            block = tj[bi * t : (bi + 1) * t, bj * t : (bj + 1) * t]
+            if len(np.unique(block)) != s:
+                return False
+    return True
+
+
+def count_sorted_runs(values: np.ndarray) -> int:
+    """Number of maximal nondecreasing runs in a 1-D array.
+
+    >>> count_sorted_runs(np.array([1, 2, 0, 5, 5, 3]))
+    3
+    """
+    keys = values["key"] if values.dtype.names else values
+    if len(keys) < 2:
+        return min(len(keys), 1)
+    return int(np.sum(keys[:-1] > keys[1:])) + 1
+
+
+def min_run_length(values: np.ndarray) -> int:
+    """Length of the shortest maximal nondecreasing run in a 1-D array."""
+    keys = values["key"] if values.dtype.names else values
+    if len(keys) == 0:
+        return 0
+    breaks = np.flatnonzero(keys[:-1] > keys[1:])
+    bounds = np.concatenate([[-1], breaks, [len(keys) - 1]])
+    return int(np.min(np.diff(bounds)))
+
+
+def runs_after_subblock_ok(matrix: np.ndarray, r: int, s: int) -> bool:
+    """Whether every column of a (post-step-3.1) matrix consists of at
+    most ``√s`` sorted runs, each of length ``r/√s`` — the structure the
+    paper proves the subblock permutation creates from sorted columns."""
+    t = sqrt_pow4(s)
+    run = r // t
+    keys = matrix["key"] if matrix.dtype.names else matrix
+    for j in range(s):
+        col = keys[:, j]
+        # Run boundaries may only fall at multiples of r/√s.
+        breaks = np.flatnonzero(col[:-1] > col[1:]) + 1
+        if len(breaks) > t - 1 or np.any(breaks % run):
+            return False
+    return True

@@ -1,0 +1,168 @@
+"""Exhaustive correctness checking via the 0-1 principle.
+
+Columnsort is an oblivious algorithm (its permutations are fixed; its
+column sorts are realizable as comparator networks), so the classic 0-1
+principle applies: it sorts **every** input iff it sorts every input of
+0s and 1s. Better still, step 1 sorts each column first, so a 0-1 input
+is fully characterized by its per-column zero counts — the input space
+collapses from ``2^(r·s)`` to ``(r+1)^s``, which is exhaustively
+enumerable for small shapes.
+
+This module runs the 8-step and 10-step algorithms over *batches* of
+0-1 matrices (vectorized across the batch dimension), enabling:
+
+* **proof-strength verification** — e.g. every one of the 33^4 ≈ 1.19M
+  distinct inputs at ``r=32, s=4`` sorts;
+* **empirical boundary mapping** — the smallest ``r`` at which an
+  algorithm sorts *all* inputs, compared against the paper's sufficient
+  bounds (``2s²``, Leighton's sharper ``2(s−1)²``, and subblock's
+  ``4·s^(3/2)``) — the T-boundary experiment.
+
+Padding sentinels: 0-1 data lives in int8 arrays; steps 6-8 pad with
+−1 (−∞) and 2 (+∞), which sort strictly outside {0, 1}.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, DimensionError
+from repro.matrix.bits import is_power_of_four, sqrt_pow4
+
+
+def count_vectors(r: int, s: int, chunk: int = 65536) -> Iterator[np.ndarray]:
+    """Yield all ``(r+1)^s`` per-column zero-count vectors in chunks of
+    shape ``(≤chunk, s)`` (mixed-radix enumeration, vectorized)."""
+    total = (r + 1) ** s
+    base = r + 1
+    start = 0
+    while start < total:
+        stop = min(start + chunk, total)
+        idx = np.arange(start, stop, dtype=np.int64)
+        cols = np.empty((stop - start, s), dtype=np.int64)
+        for j in range(s - 1, -1, -1):
+            cols[:, j] = idx % base
+            idx //= base
+        yield cols
+        start = stop
+
+
+def batch_from_counts(counts: np.ndarray, r: int) -> np.ndarray:
+    """0-1 matrices with sorted columns from zero-count vectors:
+    column ``j`` of item ``b`` holds ``counts[b, j]`` zeros then ones.
+    Shape ``(B, r, s)``, dtype int8."""
+    b, s = counts.shape
+    rows = np.arange(r).reshape(1, r, 1)
+    return (rows >= counts.reshape(b, 1, s)).astype(np.int8)
+
+
+def _sort_cols(batch: np.ndarray) -> np.ndarray:
+    return np.sort(batch, axis=1)
+
+
+def _step2(batch: np.ndarray) -> np.ndarray:
+    b, r, s = batch.shape
+    return np.ascontiguousarray(batch.transpose(0, 2, 1)).reshape(b, r, s)
+
+
+def _step4(batch: np.ndarray) -> np.ndarray:
+    b, r, s = batch.shape
+    return np.ascontiguousarray(batch.reshape(b, s, r).transpose(0, 2, 1))
+
+
+def _subblock(batch: np.ndarray) -> np.ndarray:
+    b, r, s = batch.shape
+    t = sqrt_pow4(s)
+    if r % t:
+        raise DimensionError(f"√s={t} must divide r={r}")
+    blocks = batch.reshape(b, r // t, t, t, t)  # axes (b, w, x, y, z)
+    return np.ascontiguousarray(blocks.transpose(0, 3, 1, 2, 4)).reshape(b, r, s)
+
+
+def _steps_6_to_8(batch: np.ndarray) -> np.ndarray:
+    b, r, s = batch.shape
+    half = r // 2
+    flat = np.ascontiguousarray(batch.transpose(0, 2, 1)).reshape(b, r * s)
+    lo = np.full((b, half), -1, dtype=np.int8)
+    hi = np.full((b, half), 2, dtype=np.int8)
+    shifted = np.concatenate([lo, flat, hi], axis=1).reshape(b, s + 1, r)
+    shifted = np.sort(shifted.transpose(0, 2, 1), axis=1)  # step 7
+    flat_back = np.ascontiguousarray(shifted.transpose(0, 2, 1)).reshape(b, -1)
+    return (
+        flat_back[:, half : half + r * s].reshape(b, s, r).transpose(0, 2, 1)
+    )
+
+
+def run_batch(batch: np.ndarray, variant: str = "basic") -> np.ndarray:
+    """Run the full step sequence on a ``(B, r, s)`` 0-1 batch.
+
+    ``variant``: ``"basic"`` (8 steps) or ``"subblock"`` (10 steps).
+    No height restriction is enforced — exploring where the algorithms
+    break is the point.
+    """
+    if variant not in ("basic", "subblock"):
+        raise ConfigError(f"unknown variant {variant!r}")
+    out = _sort_cols(batch)  # step 1
+    out = _step2(out)
+    out = _sort_cols(out)  # step 3
+    if variant == "subblock":
+        out = _subblock(out)  # step 3.1
+        out = _sort_cols(out)  # step 3.2
+    out = _step4(out)
+    return _steps_6_to_8(_sort_cols(out))  # steps 5-8 (6-8 include 7's sort)
+
+
+def sorted_mask(batch: np.ndarray) -> np.ndarray:
+    """Boolean per batch item: sorted in column-major order?"""
+    b, r, s = batch.shape
+    flat = np.ascontiguousarray(batch.transpose(0, 2, 1)).reshape(b, r * s)
+    return np.all(flat[:, :-1] <= flat[:, 1:], axis=1)
+
+
+def exhaustive_check(
+    r: int, s: int, variant: str = "basic", chunk: int = 65536
+) -> np.ndarray | None:
+    """Run the algorithm on *every* distinct 0-1 input at shape
+    ``r × s``; return None if all sort, else the zero-count vector of
+    the first counterexample.
+
+    By the 0-1 principle, None means the algorithm sorts **all** inputs
+    at this shape.
+    """
+    if r < 1 or s < 1 or r % s:
+        raise DimensionError(f"need s | r with positive dims, got r={r}, s={s}")
+    if variant == "subblock" and not is_power_of_four(s):
+        raise DimensionError(f"subblock needs s a power of 4, got {s}")
+    if r % 2:
+        raise DimensionError(f"steps 6-8 need even r, got {r}")
+    for counts in count_vectors(r, s, chunk):
+        result = run_batch(batch_from_counts(counts, r), variant)
+        ok = sorted_mask(result)
+        if not ok.all():
+            return counts[np.flatnonzero(~ok)[0]]
+    return None
+
+
+def empirical_min_height(
+    s: int, variant: str = "basic", r_max: int | None = None
+) -> int:
+    """The smallest ``r`` (multiple of ``s``, even) at which the
+    algorithm sorts every input — found by exhaustive 0-1 search.
+
+    Compare against the sufficient bounds: the paper's ``2s²``,
+    Leighton's ``2(s−1)²``, and subblock's ``4·s^(3/2)``.
+    """
+    if r_max is None:
+        r_max = 4 * s * s
+    step = s if s % 2 == 0 else 2 * s  # keep r even and a multiple of s
+    r = step
+    while r <= r_max:
+        if variant != "subblock" or r % sqrt_pow4(s) == 0:
+            if exhaustive_check(r, s, variant) is None:
+                return r
+        r += step
+    raise DimensionError(
+        f"no working height ≤ {r_max} found for {variant} at s={s}"
+    )

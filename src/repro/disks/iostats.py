@@ -1,0 +1,60 @@
+"""Byte-accurate disk I/O accounting.
+
+A *pass* in the paper's sense reads every record once from disk and
+writes it back once. The integration tests assert pass counts from these
+counters: threaded columnsort must move exactly ``3·N`` records through
+read and write, subblock columnsort ``4·N``, M-columnsort ``3·N``.
+Counters are thread-safe because each rank runs on its own thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IoStats:
+    """Running I/O totals for one disk (or an aggregate of disks)."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.reads += 1
+            self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int) -> None:
+        with self._lock:
+            self.writes += 1
+            self.bytes_written += nbytes
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "reads": self.reads,
+                "writes": self.writes,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.reads = 0
+            self.writes = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+
+    @staticmethod
+    def combine(stats: list["IoStats"]) -> dict:
+        """Aggregate totals across disks."""
+        total = {"reads": 0, "writes": 0, "bytes_read": 0, "bytes_written": 0}
+        for s in stats:
+            snap = s.snapshot()
+            for key in total:
+                total[key] += snap[key]
+        return total

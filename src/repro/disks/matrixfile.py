@@ -1,0 +1,561 @@
+"""Out-of-core matrix and output stores.
+
+Three layouts, matching the paper's data placement (§2):
+
+* :class:`ColumnStore` — the ``r × s`` matrix with whole columns owned
+  by processor ``j mod P``, each column contiguous on one of its owner's
+  disks (threaded and subblock columnsort);
+* :class:`StripedColumnStore` — M-columnsort's height interpretation
+  ``r = M``: every column spans the entire cluster, processor ``p``
+  holding rows ``[p·r/P, (p+1)·r/P)`` of each column on its own disks;
+* :class:`PdmStore` — the final output in PDM striped ordering.
+
+Intermediate passes exploit a freedom the real implementation also
+exploits (footnote 5 discusses the write-pattern/sorted-run interplay):
+records within a column may be stored in any order between passes,
+because the next pass begins by sorting the column. The ``append_*``
+methods exist for exactly that — the subblock pass routes unequal
+record counts to a column in different rounds, so positions are
+assigned by arrival, not by source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.disks.pdm import split_range_by_disk, split_range_by_owner
+from repro.disks.virtual_disk import VirtualDisk
+from repro.errors import ConfigError, DiskError
+from repro.records.format import RecordFormat
+
+
+class _StoreBase:
+    def __init__(
+        self,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        disks: list[VirtualDisk],
+        name: str,
+    ) -> None:
+        if len(disks) != cfg.virtual_disks:
+            raise ConfigError(
+                f"store needs {cfg.virtual_disks} disks, got {len(disks)}"
+            )
+        self.cfg = cfg
+        self.fmt = fmt
+        self.disks = disks
+        self.name = name
+
+    def io_totals(self) -> dict:
+        """Aggregate I/O across this store's disks (includes any other
+        stores sharing the same disks)."""
+        from repro.disks.iostats import IoStats
+
+        return IoStats.combine([d.stats for d in self.disks])
+
+
+class ColumnStore(_StoreBase):
+    """An ``r × s`` matrix stored as whole columns, column ``j`` owned by
+    processor ``j mod P`` and resident on one of its owner's disks
+    (cycling over the owner's ``D/P`` disks by column)."""
+
+    def __init__(
+        self,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        r: int,
+        s: int,
+        disks: list[VirtualDisk],
+        name: str = "matrix",
+    ) -> None:
+        super().__init__(cfg, fmt, disks, name)
+        if s % cfg.p:
+            raise ConfigError(
+                f"P={cfg.p} must divide the number of columns s={s}"
+            )
+        self.r = r
+        self.s = s
+        self._cursors: dict[int, int] = {}
+
+    # -- placement ------------------------------------------------------
+
+    def owner(self, j: int) -> int:
+        """Processor owning column ``j``."""
+        self._check_col(j)
+        return self.cfg.owner_of_column(j)
+
+    def disk_for(self, j: int) -> VirtualDisk:
+        """The disk holding column ``j``."""
+        owned = list(self.cfg.disks_of(self.owner(j)))
+        return self.disks[owned[(j // self.cfg.p) % len(owned)]]
+
+    def _file(self, j: int) -> str:
+        return f"{self.name}.col{j:06d}"
+
+    def _check_col(self, j: int) -> None:
+        if not 0 <= j < self.s:
+            raise ConfigError(f"column {j} out of range for s={self.s}")
+
+    def _check_owner(self, rank: int, j: int) -> None:
+        owner = self.owner(j)
+        if rank != owner:
+            raise DiskError(
+                f"rank {rank} cannot access column {j}: owned by rank {owner}"
+            )
+
+    # -- whole-column I/O -------------------------------------------------
+
+    def write_column(self, rank: int, j: int, records: np.ndarray) -> None:
+        """Write a full column (must hold exactly ``r`` records)."""
+        self._check_owner(rank, j)
+        if len(records) != self.r:
+            raise ConfigError(
+                f"column {j} must hold r={self.r} records, got {len(records)}"
+            )
+        self.disk_for(j).write_at(self._file(j), 0, self.fmt.to_bytes(records))
+
+    def read_column(self, rank: int, j: int) -> np.ndarray:
+        """Read a full column."""
+        self._check_owner(rank, j)
+        data = self.disk_for(j).read_at(self._file(j), 0, self.fmt.nbytes(self.r))
+        return self.fmt.from_bytes(data)
+
+    def write_segment(
+        self, rank: int, j: int, row_offset: int, records: np.ndarray
+    ) -> None:
+        """Write ``records`` at rows ``[row_offset, row_offset+len)`` of
+        column ``j``."""
+        self._check_owner(rank, j)
+        if row_offset < 0 or row_offset + len(records) > self.r:
+            raise ConfigError(
+                f"segment [{row_offset}, {row_offset + len(records)}) exceeds "
+                f"column height r={self.r}"
+            )
+        self.disk_for(j).write_at(
+            self._file(j),
+            self.fmt.nbytes(row_offset),
+            self.fmt.to_bytes(records),
+        )
+
+    def append_to_column(self, rank: int, j: int, records: np.ndarray) -> None:
+        """Write ``records`` at the column's current append cursor.
+
+        Used by passes whose per-round contributions to a column are
+        unequal (the subblock pass); the next pass sorts the column, so
+        arrival order is immaterial.
+        """
+        cursor = self._cursors.get(j, 0)
+        self.write_segment(rank, j, cursor, records)
+        self._cursors[j] = cursor + len(records)
+
+    def reset_cursors(self) -> None:
+        """Clear append cursors (call between passes)."""
+        self._cursors.clear()
+
+    def cursor(self, j: int) -> int:
+        """Current append cursor of column ``j`` (rows already written)."""
+        return self._cursors.get(j, 0)
+
+    # -- bulk load/dump (test and example harnesses; not metered passes) --
+
+    @classmethod
+    def from_records(
+        cls,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        records: np.ndarray,
+        r: int,
+        s: int,
+        disks: list[VirtualDisk],
+        name: str = "input",
+    ) -> "ColumnStore":
+        """Create a store holding ``records`` in column-major order:
+        column ``j`` is ``records[j·r : (j+1)·r]``."""
+        if len(records) != r * s:
+            raise ConfigError(
+                f"need exactly r·s={r * s} records, got {len(records)}"
+            )
+        store = cls(cfg, fmt, r, s, disks, name)
+        for j in range(s):
+            store.write_column(store.owner(j), j, records[j * r : (j + 1) * r])
+        return store
+
+    def to_records(self) -> np.ndarray:
+        """Read the whole matrix back in column-major order."""
+        out = self.fmt.empty(self.r * self.s)
+        for j in range(self.s):
+            out[j * self.r : (j + 1) * self.r] = self.read_column(self.owner(j), j)
+        return out
+
+    def delete(self) -> None:
+        """Remove all column files (frees simulated disk space)."""
+        for j in range(self.s):
+            self.disk_for(j).delete(self._file(j))
+
+
+class StripedColumnStore(_StoreBase):
+    """M-columnsort's layout: an ``r × s`` matrix with ``r = M``; every
+    column is shared by all processors, processor ``p`` holding rows
+    ``[p·r/P, (p+1)·r/P)`` of each column on its own disks."""
+
+    def __init__(
+        self,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        r: int,
+        s: int,
+        disks: list[VirtualDisk],
+        name: str = "mmatrix",
+    ) -> None:
+        super().__init__(cfg, fmt, disks, name)
+        if r % cfg.p:
+            raise ConfigError(f"P={cfg.p} must divide the column height r={r}")
+        self.r = r
+        self.s = s
+        self.portion = r // cfg.p
+        self._cursors: dict[tuple[int, int], int] = {}
+
+    def _file(self, j: int, rank: int) -> str:
+        return f"{self.name}.col{j:06d}.part{rank:03d}"
+
+    def _disk_for(self, j: int, rank: int) -> VirtualDisk:
+        owned = list(self.cfg.disks_of(rank))
+        return self.disks[owned[j % len(owned)]]
+
+    def _check(self, rank: int, j: int) -> None:
+        self.cfg.check_rank(rank)
+        if not 0 <= j < self.s:
+            raise ConfigError(f"column {j} out of range for s={self.s}")
+
+    def write_portion(self, rank: int, j: int, records: np.ndarray) -> None:
+        """Write rank's full portion (``r/P`` records) of column ``j``."""
+        self._check(rank, j)
+        if len(records) != self.portion:
+            raise ConfigError(
+                f"portion must hold r/P={self.portion} records, got {len(records)}"
+            )
+        self._disk_for(j, rank).write_at(
+            self._file(j, rank), 0, self.fmt.to_bytes(records)
+        )
+
+    def read_portion(self, rank: int, j: int) -> np.ndarray:
+        """Read rank's portion of column ``j``."""
+        self._check(rank, j)
+        data = self._disk_for(j, rank).read_at(
+            self._file(j, rank), 0, self.fmt.nbytes(self.portion)
+        )
+        return self.fmt.from_bytes(data)
+
+    def write_portion_segment(
+        self, rank: int, j: int, row_offset: int, records: np.ndarray
+    ) -> None:
+        """Write ``records`` at offset ``row_offset`` *within the rank's
+        portion* of column ``j``."""
+        self._check(rank, j)
+        if row_offset < 0 or row_offset + len(records) > self.portion:
+            raise ConfigError(
+                f"segment [{row_offset}, {row_offset + len(records)}) exceeds "
+                f"portion height r/P={self.portion}"
+            )
+        self._disk_for(j, rank).write_at(
+            self._file(j, rank),
+            self.fmt.nbytes(row_offset),
+            self.fmt.to_bytes(records),
+        )
+
+    def append_to_portion(self, rank: int, j: int, records: np.ndarray) -> None:
+        """Append ``records`` to the rank's portion of column ``j`` at its
+        current cursor (positions assigned by arrival; the next pass
+        sorts the column)."""
+        key = (j, rank)
+        cursor = self._cursors.get(key, 0)
+        self.write_portion_segment(rank, j, cursor, records)
+        self._cursors[key] = cursor + len(records)
+
+    def reset_cursors(self) -> None:
+        self._cursors.clear()
+
+    def cursor(self, rank: int, j: int) -> int:
+        return self._cursors.get((j, rank), 0)
+
+    @classmethod
+    def from_records(
+        cls,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        records: np.ndarray,
+        r: int,
+        s: int,
+        disks: list[VirtualDisk],
+        name: str = "minput",
+    ) -> "StripedColumnStore":
+        """Create a store holding ``records`` in column-major order."""
+        if len(records) != r * s:
+            raise ConfigError(f"need exactly r·s={r * s} records, got {len(records)}")
+        store = cls(cfg, fmt, r, s, disks, name)
+        for j in range(s):
+            col = records[j * r : (j + 1) * r]
+            for p in range(cfg.p):
+                store.write_portion(
+                    p, j, col[p * store.portion : (p + 1) * store.portion]
+                )
+        return store
+
+    def to_records(self) -> np.ndarray:
+        """Read the whole matrix back in column-major order."""
+        out = self.fmt.empty(self.r * self.s)
+        for j in range(self.s):
+            base = j * self.r
+            for p in range(self.cfg.p):
+                out[base + p * self.portion : base + (p + 1) * self.portion] = (
+                    self.read_portion(p, j)
+                )
+        return out
+
+    def delete(self) -> None:
+        for j in range(self.s):
+            for p in range(self.cfg.p):
+                self._disk_for(j, p).delete(self._file(j, p))
+
+
+class GroupColumnStore(_StoreBase):
+    """The adjustable height interpretation's layout (§6, second
+    future-work item): ``r = g·M/P`` with ``1 ≤ g ≤ P``.
+
+    Processors form ``G = P/g`` groups of ``g``; column ``j`` is owned
+    by group ``j mod G`` and striped over that group's members,
+    ``r/g`` records each. ``g = 1`` reduces to whole-column ownership
+    (:class:`ColumnStore`'s placement); ``g = P`` to M-columnsort's
+    (:class:`StripedColumnStore`).
+    """
+
+    def __init__(
+        self,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        r: int,
+        s: int,
+        disks: list[VirtualDisk],
+        group_size: int,
+        name: str = "gmatrix",
+    ) -> None:
+        super().__init__(cfg, fmt, disks, name)
+        if group_size < 1 or cfg.p % group_size:
+            raise ConfigError(
+                f"group size g={group_size} must divide P={cfg.p}"
+            )
+        if r % group_size:
+            raise ConfigError(
+                f"group size g={group_size} must divide column height r={r}"
+            )
+        self.g = group_size
+        self.groups = cfg.p // group_size
+        if s % self.groups:
+            raise ConfigError(
+                f"group count G={self.groups} must divide s={s}"
+            )
+        self.r = r
+        self.s = s
+        self.portion = r // group_size
+        self._cursors: dict[tuple[int, int], int] = {}
+
+    # -- placement ------------------------------------------------------
+
+    def group_of_rank(self, rank: int) -> int:
+        self.cfg.check_rank(rank)
+        return rank // self.g
+
+    def member_of_rank(self, rank: int) -> int:
+        self.cfg.check_rank(rank)
+        return rank % self.g
+
+    def owner_group(self, j: int) -> int:
+        self._check_col(j)
+        return j % self.groups
+
+    def rank_of(self, j: int, member: int) -> int:
+        """World rank of a member of column ``j``'s owning group."""
+        if not 0 <= member < self.g:
+            raise ConfigError(f"member {member} out of range for g={self.g}")
+        return self.owner_group(j) * self.g + member
+
+    def _check_col(self, j: int) -> None:
+        if not 0 <= j < self.s:
+            raise ConfigError(f"column {j} out of range for s={self.s}")
+
+    def _check_access(self, rank: int, j: int) -> int:
+        """Validate and return the rank's member index for column ``j``."""
+        if self.group_of_rank(rank) != self.owner_group(j):
+            raise DiskError(
+                f"rank {rank} (group {self.group_of_rank(rank)}) cannot "
+                f"access column {j} (owned by group {self.owner_group(j)})"
+            )
+        return self.member_of_rank(rank)
+
+    def _file(self, j: int, member: int) -> str:
+        return f"{self.name}.col{j:06d}.part{member:03d}"
+
+    def _disk_for(self, j: int, rank: int) -> VirtualDisk:
+        owned = list(self.cfg.disks_of(rank))
+        return self.disks[owned[(j // self.groups) % len(owned)]]
+
+    # -- portion I/O ------------------------------------------------------
+
+    def read_portion(self, rank: int, j: int) -> np.ndarray:
+        member = self._check_access(rank, j)
+        data = self._disk_for(j, rank).read_at(
+            self._file(j, member), 0, self.fmt.nbytes(self.portion)
+        )
+        return self.fmt.from_bytes(data)
+
+    def write_portion(self, rank: int, j: int, records: np.ndarray) -> None:
+        member = self._check_access(rank, j)
+        if len(records) != self.portion:
+            raise ConfigError(
+                f"portion must hold r/g={self.portion} records, got {len(records)}"
+            )
+        self._disk_for(j, rank).write_at(
+            self._file(j, member), 0, self.fmt.to_bytes(records)
+        )
+
+    def append_to_portion(self, rank: int, j: int, records: np.ndarray) -> None:
+        member = self._check_access(rank, j)
+        key = (j, member)
+        cursor = self._cursors.get(key, 0)
+        if cursor + len(records) > self.portion:
+            raise ConfigError(
+                f"append of {len(records)} records overflows portion of "
+                f"column {j} (cursor {cursor}, portion {self.portion})"
+            )
+        self._disk_for(j, rank).write_at(
+            self._file(j, member),
+            self.fmt.nbytes(cursor),
+            self.fmt.to_bytes(records),
+        )
+        self._cursors[key] = cursor + len(records)
+
+    def reset_cursors(self) -> None:
+        self._cursors.clear()
+
+    # -- bulk load/dump ----------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        records: np.ndarray,
+        r: int,
+        s: int,
+        disks: list[VirtualDisk],
+        group_size: int,
+        name: str = "ginput",
+    ) -> "GroupColumnStore":
+        if len(records) != r * s:
+            raise ConfigError(f"need exactly r·s={r * s} records, got {len(records)}")
+        store = cls(cfg, fmt, r, s, disks, group_size, name)
+        for j in range(s):
+            col = records[j * r : (j + 1) * r]
+            for member in range(group_size):
+                store.write_portion(
+                    store.rank_of(j, member),
+                    j,
+                    col[member * store.portion : (member + 1) * store.portion],
+                )
+        return store
+
+    def to_records(self) -> np.ndarray:
+        out = self.fmt.empty(self.r * self.s)
+        for j in range(self.s):
+            base = j * self.r
+            for member in range(self.g):
+                out[
+                    base + member * self.portion : base + (member + 1) * self.portion
+                ] = self.read_portion(self.rank_of(j, member), j)
+        return out
+
+    def delete(self) -> None:
+        for j in range(self.s):
+            for member in range(self.g):
+                rank = self.rank_of(j, member)
+                self._disk_for(j, rank).delete(self._file(j, member))
+
+
+class PdmStore(_StoreBase):
+    """The sorted output, in PDM striped ordering.
+
+    Global record ``g`` lives in block ``g div B`` on disk
+    ``(g div B) mod D``; disk ``d`` is written by processor ``d mod P``.
+    """
+
+    def __init__(
+        self,
+        cfg: ClusterConfig,
+        fmt: RecordFormat,
+        n: int,
+        disks: list[VirtualDisk],
+        block_records: int,
+        name: str = "output",
+    ) -> None:
+        super().__init__(cfg, fmt, disks, name)
+        if block_records <= 0:
+            raise ConfigError(f"block size must be positive, got {block_records}")
+        self.n = n
+        self.block = block_records
+
+    def _file(self, disk: int) -> str:
+        return f"{self.name}.pdm{disk:03d}"
+
+    def split_by_owner(self, start: int, count: int) -> dict[int, list]:
+        """Group ``[start, start+count)`` into per-owning-processor piece
+        lists — the routing table for the final communicate stage."""
+        self._check_range(start, count)
+        return split_range_by_owner(
+            start, count, self.block, self.cfg.virtual_disks, self.cfg.p
+        )
+
+    def write_global(self, rank: int, start: int, records: np.ndarray) -> None:
+        """Write ``records`` at global positions ``[start, start+len)``.
+        Every touched block must live on one of ``rank``'s disks."""
+        self._check_range(start, len(records))
+        for disk, offset, rel, n in split_range_by_disk(
+            start, len(records), self.block, self.cfg.virtual_disks
+        ):
+            if self.cfg.owner_of_disk(disk) != rank:
+                raise DiskError(
+                    f"rank {rank} cannot write global records at disk {disk} "
+                    f"(owned by rank {self.cfg.owner_of_disk(disk)})"
+                )
+            self.disks[disk].write_at(
+                self._file(disk),
+                self.fmt.nbytes(offset),
+                self.fmt.to_bytes(records[rel : rel + n]),
+            )
+
+    def read_global(self, start: int, count: int) -> np.ndarray:
+        """Read ``[start, start+count)`` in global order (verification)."""
+        self._check_range(start, count)
+        out = self.fmt.empty(count)
+        for disk, offset, rel, n in split_range_by_disk(
+            start, count, self.block, self.cfg.virtual_disks
+        ):
+            data = self.disks[disk].read_at(
+                self._file(disk), self.fmt.nbytes(offset), self.fmt.nbytes(n)
+            )
+            out[rel : rel + n] = self.fmt.from_bytes(data)
+        return out
+
+    def read_all(self) -> np.ndarray:
+        """The full output in global order."""
+        return self.read_global(0, self.n)
+
+    def _check_range(self, start: int, count: int) -> None:
+        if start < 0 or count < 0 or start + count > self.n:
+            raise ConfigError(
+                f"global range [{start}, {start + count}) exceeds N={self.n}"
+            )
+
+    def delete(self) -> None:
+        for disk in range(self.cfg.virtual_disks):
+            self.disks[disk].delete(self._file(disk))

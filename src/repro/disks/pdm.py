@@ -1,0 +1,71 @@
+"""Parallel Disk Model (PDM) striped ordering.
+
+PDM ordering lays records out so that any consecutive run of records is
+balanced across disks (and hence processors) as evenly as possible
+(paper footnote 6). With block size ``B`` records and ``D`` disks:
+
+* record ``g`` lives in global block ``b = g div B``;
+* block ``b`` lives on disk ``b mod D``, at block slot ``b div D`` of
+  that disk;
+* disk ``d`` is owned by processor ``d mod P``.
+
+The out-of-core programs produce their *output* in this ordering, which
+is what lets them serve as subroutines of other PDM algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+
+def pdm_disk_of(g: int, block: int, d: int) -> int:
+    """The disk holding global record ``g``."""
+    return (g // block) % d
+
+
+def pdm_position(g: int, block: int, d: int) -> tuple[int, int]:
+    """``(disk, record-offset-on-disk)`` of global record ``g``.
+
+    >>> pdm_position(10, block=4, d=2)   # block 2 -> disk 0, slot 1
+    (0, 6)
+    """
+    b = g // block
+    within = g - b * block
+    return b % d, (b // d) * block + within
+
+
+def split_range_by_disk(
+    start: int, count: int, block: int, d: int
+) -> Iterator[tuple[int, int, int, int]]:
+    """Split global record range ``[start, start+count)`` into maximal
+    per-disk pieces, yielding ``(disk, disk_offset, global_offset, n)``
+    tuples in global order. Pieces never cross block boundaries.
+    """
+    if block <= 0 or d <= 0:
+        raise ConfigError(f"need positive block and disk count, got {block}, {d}")
+    if count < 0 or start < 0:
+        raise ConfigError(f"invalid range ({start}, {count})")
+    g = start
+    end = start + count
+    while g < end:
+        b = g // block
+        block_end = (b + 1) * block
+        n = min(end, block_end) - g
+        disk, offset = pdm_position(g, block, d)
+        yield disk, offset, g - start, n
+        g += n
+
+
+def split_range_by_owner(
+    start: int, count: int, block: int, d: int, p: int
+) -> dict[int, list[tuple[int, int, int, int]]]:
+    """Group the pieces of :func:`split_range_by_disk` by owning
+    processor (disk ``d`` belongs to processor ``d mod p``) — this is
+    exactly what the final pass's second communicate stage needs to route
+    sorted windows to the processors that write them."""
+    groups: dict[int, list[tuple[int, int, int, int]]] = {}
+    for disk, offset, rel, n in split_range_by_disk(start, count, block, d):
+        groups.setdefault(disk % p, []).append((disk, offset, rel, n))
+    return groups

@@ -1,0 +1,172 @@
+"""A file-backed virtual disk.
+
+One disk = one directory; the data objects on it (columns, PDM stripes,
+temporaries) are files addressed by name with byte-offset reads and
+writes — the same access pattern as the paper's C ``stdio`` I/O.
+
+Beyond plain I/O the disk supports what the failure-injection tests
+need: an optional capacity limit (:class:`~repro.errors.DiskFullError`
+on overflow), a read-only mode, and one-shot fault injection.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.disks.iostats import IoStats
+from repro.errors import DiskError, DiskFullError
+
+
+class VirtualDisk:
+    """A directory-backed disk with byte-offset block I/O.
+
+    Parameters
+    ----------
+    root:
+        Directory holding this disk's files (created if missing).
+    disk_id:
+        The disk's index in the cluster's disk array.
+    capacity_bytes:
+        Optional hard capacity; writes that would grow total usage past
+        it raise :class:`DiskFullError` (the paper's experiments were
+        disk-space limited — footnote 7).
+    stats:
+        Optional shared :class:`IoStats`; a private one is created
+        otherwise.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        disk_id: int = 0,
+        capacity_bytes: int | None = None,
+        stats: IoStats | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.disk_id = disk_id
+        self.capacity_bytes = capacity_bytes
+        self.stats = stats if stats is not None else IoStats()
+        self.read_only = False
+        self._fail_next: str | None = None
+        self._lock = threading.Lock()
+        self._sizes: dict[str, int] = {}
+        for path in self.root.iterdir():
+            if path.is_file():
+                self._sizes[path.name] = path.stat().st_size
+
+    # ------------------------------------------------------------------
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or name.startswith("."):
+            raise DiskError(f"invalid object name {name!r}")
+        return self.root / name
+
+    def _consume_fault(self, op: str) -> None:
+        with self._lock:
+            if self._fail_next == op or self._fail_next == "any":
+                self._fail_next = None
+                raise DiskError(
+                    f"injected {op} fault on disk {self.disk_id}"
+                )
+
+    def inject_fault(self, op: str = "any") -> None:
+        """Make the next operation of kind ``op`` (``"read"``, ``"write"``
+        or ``"any"``) fail with :class:`DiskError`."""
+        if op not in ("read", "write", "any"):
+            raise DiskError(f"unknown fault kind {op!r}")
+        with self._lock:
+            self._fail_next = op
+
+    # ------------------------------------------------------------------
+
+    def used_bytes(self) -> int:
+        """Total bytes currently stored on this disk."""
+        with self._lock:
+            return sum(self._sizes.values())
+
+    def size(self, name: str) -> int:
+        """Current size of an object (0 if absent)."""
+        with self._lock:
+            return self._sizes.get(name, 0)
+
+    def files(self) -> list[str]:
+        """Names of the objects on this disk."""
+        with self._lock:
+            return sorted(self._sizes)
+
+    # ------------------------------------------------------------------
+
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        """Write ``data`` at byte ``offset``, growing the file if needed."""
+        if self.read_only:
+            raise DiskError(f"disk {self.disk_id} is read-only")
+        if offset < 0:
+            raise DiskError(f"negative write offset {offset}")
+        self._consume_fault("write")
+        path = self._path(name)
+        with self._lock:
+            old_size = self._sizes.get(name, 0)
+            new_size = max(old_size, offset + len(data))
+            if self.capacity_bytes is not None:
+                grow = new_size - old_size
+                if grow > 0 and sum(self._sizes.values()) + grow > self.capacity_bytes:
+                    raise DiskFullError(
+                        f"disk {self.disk_id} full: cannot grow {name!r} by "
+                        f"{grow} bytes (capacity {self.capacity_bytes})"
+                    )
+            mode = "r+b" if path.exists() else "w+b"
+            with open(path, mode) as fh:
+                if offset > old_size:
+                    # Explicitly zero-fill the gap so reads are defined.
+                    fh.seek(old_size)
+                    fh.write(b"\0" * (offset - old_size))
+                fh.seek(offset)
+                fh.write(data)
+            self._sizes[name] = new_size
+        self.stats.record_write(len(data))
+
+    def read_at(self, name: str, offset: int, nbytes: int) -> bytes:
+        """Read exactly ``nbytes`` from byte ``offset``; raises
+        :class:`DiskError` on a short read."""
+        if offset < 0 or nbytes < 0:
+            raise DiskError(f"invalid read range ({offset}, {nbytes})")
+        self._consume_fault("read")
+        path = self._path(name)
+        if not path.exists():
+            raise DiskError(f"no object {name!r} on disk {self.disk_id}")
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read(nbytes)
+        if len(data) != nbytes:
+            raise DiskError(
+                f"short read of {name!r} on disk {self.disk_id}: wanted "
+                f"{nbytes} bytes at offset {offset}, got {len(data)}"
+            )
+        self.stats.record_read(nbytes)
+        return data
+
+    def delete(self, name: str) -> None:
+        """Remove an object (no error if absent)."""
+        if self.read_only:
+            raise DiskError(f"disk {self.disk_id} is read-only")
+        path = self._path(name)
+        with self._lock:
+            self._sizes.pop(name, None)
+            if path.exists():
+                os.unlink(path)
+
+
+def make_disk_array(
+    root: str | Path,
+    count: int,
+    capacity_bytes: int | None = None,
+) -> list[VirtualDisk]:
+    """Create ``count`` disks under ``root`` (one subdirectory each)."""
+    root = Path(root)
+    return [
+        VirtualDisk(root / f"disk{d:03d}", disk_id=d, capacity_bytes=capacity_bytes)
+        for d in range(count)
+    ]

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes (bad matrix
+dimensions, illegal cluster shapes) from runtime faults (disk and
+communication failures).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DimensionError(ReproError, ValueError):
+    """A matrix shape violates a columnsort restriction.
+
+    Raised when ``r × s`` fails a structural requirement such as
+    ``s | r``, the height restriction ``r >= 2 s**2`` (basic columnsort),
+    ``r >= 4 s**1.5`` with ``s`` a power of 4 (subblock columnsort), or a
+    power-of-two requirement inherited from the out-of-core setting.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """A cluster or algorithm configuration is inconsistent.
+
+    Examples: ``P`` not dividing ``D``, buffer sizes that do not fit in the
+    configured per-processor memory, or a problem size exceeding the
+    algorithm's problem-size bound.
+    """
+
+
+class ProblemSizeError(ConfigError):
+    """The requested ``N`` exceeds the algorithm's problem-size bound."""
+
+    def __init__(self, n: int, bound: int, algorithm: str) -> None:
+        self.n = n
+        self.bound = bound
+        self.algorithm = algorithm
+        super().__init__(
+            f"N={n} exceeds the {algorithm} problem-size bound of {bound} records"
+        )
+
+
+class CommError(ReproError, RuntimeError):
+    """A communication operation was misused or failed.
+
+    Covers mismatched collective participation, type/shape mismatches in
+    point-to-point exchanges, and use of a communicator after shutdown.
+    """
+
+
+class DiskError(ReproError, IOError):
+    """A virtual-disk operation failed (short read, out-of-range block,
+    write to a read-only disk, or an injected fault)."""
+
+
+class DiskFullError(DiskError):
+    """A virtual disk ran out of configured capacity."""
+
+
+class SpmdError(ReproError, RuntimeError):
+    """A rank of an SPMD program raised; carries the failing rank."""
+
+    def __init__(self, rank: int, cause: BaseException) -> None:
+        self.rank = rank
+        self.cause = cause
+        super().__init__(f"rank {rank} failed: {cause!r}")
+
+
+class VerificationError(ReproError, AssertionError):
+    """Sorted-output verification failed (order, permutation, or layout)."""

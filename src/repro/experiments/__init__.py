@@ -1,0 +1,45 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`~repro.experiments.figure2` — the paper's single results
+  figure: seconds per (GB/processor) versus total data sorted, for
+  threaded/subblock/M-columnsort at buffer sizes 2^24 and 2^25 bytes
+  plus the 3- and 4-pass baseline I/O times;
+* :mod:`~repro.experiments.tables` — the in-text quantitative claims as
+  tables: problem-size bounds (T-bounds), the ``M < 32·P^10`` crossover
+  (T-crossover), subblock-pass message counts (T-msgcount), and the
+  eligible-problem-size coverage that explains Figure 2's disjoint
+  subblock lines;
+* :mod:`~repro.experiments.runner` — one-call text report over all of
+  the above (also ``python -m repro.cli report``).
+"""
+
+from repro.experiments.figure2 import (
+    FIGURE2_POINTS,
+    figure2_claims,
+    figure2_series,
+    render_figure2,
+)
+from repro.experiments.tables import (
+    bounds_table,
+    coverage_table,
+    crossover_table,
+    msgcount_table,
+    render_table,
+)
+from repro.experiments.breakdown import breakdown_table, io_boundedness
+from repro.experiments.runner import full_report
+
+__all__ = [
+    "FIGURE2_POINTS",
+    "figure2_series",
+    "figure2_claims",
+    "render_figure2",
+    "bounds_table",
+    "crossover_table",
+    "msgcount_table",
+    "coverage_table",
+    "render_table",
+    "breakdown_table",
+    "io_boundedness",
+    "full_report",
+]

@@ -1,0 +1,211 @@
+"""Figure 2: execution times of the three columnsort programs.
+
+The paper's experimental universe (§5): 4, 8, or 16 processors; 1 or
+2 GB of data per processor; 64-128-byte records; buffer sizes 2^24 and
+2^25 bytes; y-axis = seconds per (GB of data per processor); x-axis =
+total GB sorted (4, 8, 16, 32). Each plotted point averages the runs of
+the eligible configurations at that total size.
+
+We regenerate the figure from the calibrated discrete-event model at
+the paper's full scale (the algorithms' traces are oblivious to data,
+§2). Eligibility reproduces automatically: threaded columnsort falls
+off beyond small sizes (restriction (1)); subblock columnsort covers
+only power-of-4 column counts, so its two buffer-size lines cover
+*disjoint* problem sizes differing by factors of 4; M-columnsort covers
+every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulate.hardware import BEOWULF_2003, HardwareModel
+from repro.simulate.predict import predict_seconds_per_gb
+
+#: (total GB, processor count) pairs of the paper's runs: every
+#: combination of P ∈ {4, 8, 16} holding 1 or 2 GB per processor.
+FIGURE2_POINTS: list[tuple[int, int]] = [
+    (4, 4),
+    (8, 4),
+    (8, 8),
+    (16, 8),
+    (16, 16),
+    (32, 16),
+]
+
+#: The paper's two reported buffer sizes, in bytes.
+BUFFER_SIZES = (2**24, 2**25)
+
+GB = 2**30
+
+
+@dataclass
+class Series:
+    """One line of Figure 2."""
+
+    label: str
+    algorithm: str
+    buffer_bytes: int | None
+    points: list[tuple[int, float]]  # (total GB, secs per GB/proc)
+
+    def value_at(self, gb: int) -> float | None:
+        for x, y in self.points:
+            if x == gb:
+                return y
+        return None
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def figure2_series(
+    hw: HardwareModel = BEOWULF_2003,
+    record_size: int = 64,
+) -> list[Series]:
+    """Compute every line of Figure 2.
+
+    Returns eight series: {threaded, subblock, M-columnsort} × {2^24,
+    2^25} plus the 3- and 4-pass baseline I/O times (computed, as the
+    paper plotted them, as single lines — we price them at the larger
+    buffer).
+    """
+    out: list[Series] = []
+    totals = sorted({gb for gb, _ in FIGURE2_POINTS})
+
+    for algorithm in ("threaded", "subblock", "m"):
+        for buf in BUFFER_SIZES:
+            points: list[tuple[int, float]] = []
+            for gb in totals:
+                values = []
+                for gb_i, p in FIGURE2_POINTS:
+                    if gb_i != gb:
+                        continue
+                    n = gb * GB // record_size
+                    try:
+                        values.append(
+                            predict_seconds_per_gb(
+                                algorithm, n, p, buf, record_size, hw
+                            )
+                        )
+                    except Exception:
+                        continue  # configuration not eligible at this buffer
+                if values:
+                    points.append((gb, _mean(values)))
+            label = f"{_display(algorithm)}, buffer size = 2^{buf.bit_length() - 1}"
+            out.append(Series(label, algorithm, buf, points))
+
+    for passes in (4, 3):
+        points = []
+        for gb in totals:
+            values = []
+            for gb_i, p in FIGURE2_POINTS:
+                if gb_i != gb:
+                    continue
+                n = gb * GB // record_size
+                values.append(
+                    predict_seconds_per_gb(
+                        "baseline-io", n, p, BUFFER_SIZES[-1], record_size, hw,
+                        passes=passes,
+                    )
+                )
+            points.append((gb, _mean(values)))
+        out.append(
+            Series(f"Baseline I/O time, {passes} passes", f"baseline-{passes}",
+                   None, points)
+        )
+    return out
+
+
+def _display(algorithm: str) -> str:
+    return {
+        "threaded": "Threaded columnsort",
+        "subblock": "Subblock columnsort",
+        "m": "M-columnsort",
+    }[algorithm]
+
+
+def render_figure2(series: list[Series] | None = None) -> str:
+    """Figure 2 as text: one row per total-GB, one column per series."""
+    if series is None:
+        series = figure2_series()
+    totals = sorted({gb for s in series for gb, _ in s.points})
+    width = max(len(s.label) for s in series) + 2
+    lines = [
+        "Figure 2 — secs per (GB/processor) vs. total GB of data sorted",
+        "",
+        " " * width + "".join(f"{gb:>9d}GB" for gb in totals),
+    ]
+    for s in series:
+        row = s.label.ljust(width)
+        for gb in totals:
+            v = s.value_at(gb)
+            row += f"{v:11.1f}" if v is not None else "          —"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def figure2_claims(series: list[Series] | None = None) -> dict[str, bool]:
+    """The paper's §5 statements about Figure 2, checked against the
+    regenerated data. Every value should be True; the test suite
+    asserts it.
+    """
+    if series is None:
+        series = figure2_series()
+    by_label = {s.label: s for s in series}
+
+    def get(alg: str, buf: int) -> Series:
+        return by_label[f"{_display(alg)}, buffer size = 2^{buf}"]
+
+    base3 = by_label["Baseline I/O time, 3 passes"]
+    base4 = by_label["Baseline I/O time, 4 passes"]
+
+    claims: dict[str, bool] = {}
+
+    # Threaded columnsort covers only the small end (restriction (1)).
+    claims["threaded_limited_coverage"] = all(
+        len(get("threaded", b).points) < len(base3.points) for b in (24, 25)
+    )
+    # Threaded at 2^25 is almost purely I/O-bound (≤ 5% above baseline).
+    claims["threaded_2^25_io_bound"] = all(
+        y <= 1.05 * base3.value_at(gb) for gb, y in get("threaded", 25).points
+    )
+    # Subblock at 2^25 is just above the 4-pass baseline (≤ 5%).
+    claims["subblock_2^25_io_bound"] = all(
+        y <= 1.05 * base4.value_at(gb) for gb, y in get("subblock", 25).points
+    )
+    # Subblock lines cover disjoint problem sizes (power-of-4 gaps).
+    cover24 = {gb for gb, _ in get("subblock", 24).points}
+    cover25 = {gb for gb, _ in get("subblock", 25).points}
+    claims["subblock_disjoint_coverage"] = not (cover24 & cover25)
+    # M-columnsort runs at all four problem sizes, at both buffers.
+    claims["m_full_coverage"] = all(
+        len(get("m", b).points) == len(base3.points) for b in (24, 25)
+    )
+    # M-columnsort is well above the 3-pass baseline (not I/O-bound)…
+    claims["m_above_baseline"] = all(
+        y >= 1.05 * base3.value_at(gb) for gb, y in get("m", 25).points
+    )
+    # …but at least as fast as subblock columnsort wherever both ran.
+    claims["m_not_slower_than_subblock"] = all(
+        get("m", b).value_at(gb) <= y * 1.001
+        for b in (24, 25)
+        for gb, y in get("subblock", b).points
+    )
+    # Subblock ≈ 4/3 × threaded (one extra pass) at the common size.
+    t = get("threaded", 24).value_at(4)
+    sub = get("subblock", 24).value_at(4)
+    claims["subblock_4_3_of_threaded"] = abs(sub / t - 4 / 3) < 0.1
+    # Lines are nearly flat: data per processor dominates (the paper
+    # quotes within-10% run-to-run variation; allow 12% across sizes).
+    for alg in ("subblock", "m"):
+        for b in (24, 25):
+            ys = [y for _, y in get(alg, b).points]
+            claims[f"{alg}_2^{b}_flat"] = max(ys) <= 1.12 * min(ys)
+    # Larger buffers are faster for threaded and subblock (the paper
+    # notes exactly one exception across all runs; in our model it is
+    # M-columnsort, whose deeper 2^24 pipeline hides more latency).
+    claims["bigger_buffer_faster_threaded"] = (
+        get("threaded", 25).value_at(4) < get("threaded", 24).value_at(4)
+    )
+    return claims

@@ -1,0 +1,49 @@
+"""One-call text report over every experiment."""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.breakdown import breakdown_table, io_boundedness
+from repro.experiments.figure2 import figure2_claims, figure2_series, render_figure2
+from repro.experiments.tables import (
+    bounds_table,
+    coverage_table,
+    crossover_table,
+    msgcount_table,
+    render_table,
+)
+
+
+def full_report() -> str:
+    """Regenerate everything: Figure 2, the claim checklist, and the
+    four tables. This is what ``repro-columnsort report`` prints and
+    what EXPERIMENTS.md records."""
+    out = io.StringIO()
+    series = figure2_series()
+    print(render_figure2(series), file=out)
+    print(file=out)
+    print("Figure 2 claims (paper §5):", file=out)
+    for claim, ok in figure2_claims(series).items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {claim}", file=out)
+    print(file=out)
+    print("T-bounds — problem-size bounds (records), P=16:", file=out)
+    print(render_table(bounds_table()), file=out)
+    print(file=out)
+    print("T-crossover — M-columnsort vs subblock reach (M < 32·P^10):", file=out)
+    print(render_table(crossover_table()), file=out)
+    print(file=out)
+    print("T-msgcount — subblock-pass messages per round (⌈P/√s⌉):", file=out)
+    print(render_table(msgcount_table()), file=out)
+    print(file=out)
+    print("Coverage — eligible problem sizes (P=16, 64-byte records):", file=out)
+    print(render_table(coverage_table()), file=out)
+    print(file=out)
+    rows = breakdown_table()
+    print("T-breakdown — per-pass timing (8 GB, P=8, buffer 2^25):", file=out)
+    print(render_table(rows), file=out)
+    print(file=out)
+    print("I/O-boundedness (mean I/O-thread utilization):", file=out)
+    for alg, util in io_boundedness(rows).items():
+        print(f"  {alg:9s} {util:5.1f}%", file=out)
+    return out.getvalue()

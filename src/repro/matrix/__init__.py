@@ -1,0 +1,60 @@
+"""Matrix machinery underlying columnsort.
+
+Columnsort views its ``N`` records as an ``r × s`` matrix sorted into
+column-major order. This subpackage provides:
+
+* :mod:`~repro.matrix.bits` — power-of-two arithmetic and the bit-field
+  helpers behind the paper's Figure 1;
+* :mod:`~repro.matrix.permutations` — the even-step permutations of
+  columnsort (steps 2, 4, 6, 8) and the subblock permutation (step 3.1),
+  each available both as a vectorized whole-matrix operation and as an
+  index map ``(i, j) → (i', j')`` (the index maps drive communication
+  metering and the property-based tests);
+* :mod:`~repro.matrix.layout` — conversions between flat column-major
+  record arrays and 2-D matrices, and per-column sorting helpers that
+  work for both plain key arrays and structured record arrays.
+"""
+
+from repro.matrix.bits import (
+    ilog2,
+    is_power_of_four,
+    is_power_of_two,
+    sqrt_pow4,
+)
+from repro.matrix.permutations import (
+    shift_down,
+    shift_down_target,
+    shift_up,
+    step2,
+    step2_target,
+    step4,
+    step4_target,
+    subblock,
+    subblock_target,
+    subblock_target_bitwise,
+)
+from repro.matrix.layout import (
+    from_columns,
+    sort_columns,
+    to_columns,
+)
+
+__all__ = [
+    "ilog2",
+    "is_power_of_two",
+    "is_power_of_four",
+    "sqrt_pow4",
+    "step2",
+    "step2_target",
+    "step4",
+    "step4_target",
+    "shift_down",
+    "shift_down_target",
+    "shift_up",
+    "subblock",
+    "subblock_target",
+    "subblock_target_bitwise",
+    "to_columns",
+    "from_columns",
+    "sort_columns",
+]

@@ -1,0 +1,221 @@
+"""The even-step permutations of columnsort and the subblock permutation.
+
+Conventions
+-----------
+Matrices are NumPy arrays of shape ``(r, s)``; element ``(i, j)`` is row
+``i`` of column ``j``; the column-major flat position of ``(i, j)`` is
+``j·r + i`` (columnsort's final output is sorted in this order).
+
+Every permutation is provided in two forms:
+
+* a whole-matrix operation (``step2``, ``step4``, ``subblock``, …) that
+  returns a new array — implemented as reshape/transpose compositions so
+  NumPy moves the data in single vectorized passes;
+* an index map (``step2_target``, …) taking vectorized ``(i, j)`` and
+  returning ``(i', j')`` — used by the out-of-core communicate stages to
+  route records and by the tests to cross-check the matrix operations.
+
+All shape parameters are validated by the callers (see
+:mod:`repro.columnsort.validation`); these functions assume ``s | r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.matrix.bits import extract_bits, ilog2, sqrt_pow4
+
+
+def _check_divides(r: int, s: int) -> None:
+    if s <= 0 or r <= 0 or r % s:
+        raise DimensionError(f"require s | r with positive dimensions, got r={r}, s={s}")
+
+
+# ---------------------------------------------------------------------------
+# Step 2: transpose and reshape ("deal" each column across all columns)
+# ---------------------------------------------------------------------------
+
+def step2(matrix: np.ndarray) -> np.ndarray:
+    """Columnsort step 2: transpose the ``r × s`` matrix to ``s × r`` and
+    reshape back to ``r × s``.
+
+    Column ``j`` lands in the band of rows ``[j·r/s, (j+1)·r/s)`` spread
+    across all ``s`` columns.
+    """
+    r, s = matrix.shape
+    _check_divides(r, s)
+    return np.ascontiguousarray(matrix.T).reshape(r, s)
+
+
+def step2_target(
+    i: np.ndarray | int, j: np.ndarray | int, r: int, s: int
+) -> tuple[np.ndarray | int, np.ndarray | int]:
+    """Index map of step 2: ``(i, j) → ((j·r + i) div s, (j·r + i) mod s)``.
+
+    Since ``s | r`` the target column reduces to ``i mod s`` — which is why
+    each processor sends exactly ``r/P`` records to every processor during
+    the pass-1 communicate stage (paper §2).
+    """
+    _check_divides(r, s)
+    k = j * r + i
+    return k // s, k % s
+
+
+# ---------------------------------------------------------------------------
+# Step 4: reshape and transpose (inverse of step 2)
+# ---------------------------------------------------------------------------
+
+def step4(matrix: np.ndarray) -> np.ndarray:
+    """Columnsort step 4: reshape the ``r × s`` matrix to ``s × r`` and
+    transpose back — exactly the inverse permutation of step 2."""
+    r, s = matrix.shape
+    _check_divides(r, s)
+    return np.ascontiguousarray(matrix.reshape(s, r).T)
+
+
+def step4_target(
+    i: np.ndarray | int, j: np.ndarray | int, r: int, s: int
+) -> tuple[np.ndarray | int, np.ndarray | int]:
+    """Index map of step 4: ``(i, j) → ((i·s + j) mod r, (i·s + j) div r)``."""
+    _check_divides(r, s)
+    k = i * s + j
+    return k % r, k // r
+
+
+# ---------------------------------------------------------------------------
+# Steps 6 and 8: shift down / up by r/2
+# ---------------------------------------------------------------------------
+
+def shift_down(matrix: np.ndarray, pad_low, pad_high) -> np.ndarray:
+    """Columnsort step 6: shift every column down by ``r/2`` positions,
+    wrapping each column's bottom half into the top half of the next
+    column. The result has ``s + 1`` columns: the first's top half is
+    ``pad_low`` (−∞ keys) and the last's bottom half is ``pad_high``
+    (+∞ keys).
+
+    ``pad_low``/``pad_high`` must each hold ``r/2`` elements of the
+    matrix's dtype.
+    """
+    r, s = matrix.shape
+    if r % 2:
+        raise DimensionError(f"r must be even to shift by r/2, got r={r}")
+    half = r // 2
+    if len(pad_low) != half or len(pad_high) != half:
+        raise DimensionError(
+            f"padding must hold r/2={half} elements, got {len(pad_low)}/{len(pad_high)}"
+        )
+    flat = np.concatenate(
+        [np.asarray(pad_low), matrix.flatten(order="F"), np.asarray(pad_high)]
+    )
+    return flat.reshape(s + 1, r).T.copy()
+
+
+def shift_down_target(
+    i: np.ndarray | int, j: np.ndarray | int, r: int, s: int
+) -> tuple[np.ndarray | int, np.ndarray | int]:
+    """Index map of step 6 into the ``r × (s+1)`` shifted matrix:
+    the column-major position advances by ``r/2``."""
+    if r % 2:
+        raise DimensionError(f"r must be even to shift by r/2, got r={r}")
+    k = j * r + i + r // 2
+    return k % r, k // r
+
+
+def shift_up(matrix: np.ndarray) -> np.ndarray:
+    """Columnsort step 8: the inverse of step 6 — drop the first and last
+    ``r/2`` elements (the padding) of the ``r × (s+1)`` matrix in
+    column-major order and reform the ``r × s`` matrix."""
+    r, s1 = matrix.shape
+    if r % 2:
+        raise DimensionError(f"r must be even to shift by r/2, got r={r}")
+    half = r // 2
+    flat = matrix.flatten(order="F")[half:-half]
+    return flat.reshape(s1 - 1, r).T.copy()
+
+
+# ---------------------------------------------------------------------------
+# Step 3.1: the subblock permutation (paper §3, Figure 1)
+# ---------------------------------------------------------------------------
+
+def subblock(matrix: np.ndarray) -> np.ndarray:
+    """The subblock permutation: spread every aligned ``√s × √s`` subblock
+    across all ``s`` columns (the *subblock property*), while turning each
+    source column into sorted runs of length ``r/√s`` in its targets.
+
+    Writing ``t = √s``, ``i = w·t + x`` and ``j = y·t + z``, the map is
+    ``(w, x, y, z) → (i', j')`` with ``i' = y·(r/t) + w`` and
+    ``j' = x·t + z``. As a whole-matrix operation this is a single 4-D
+    axis transpose.
+    """
+    r, s = matrix.shape
+    _check_divides(r, s)
+    t = sqrt_pow4(s)
+    if r % t:
+        raise DimensionError(f"require √s | r, got r={r}, √s={t}")
+    blocks = matrix.reshape(r // t, t, t, t)  # axes (w, x, y, z)
+    return np.ascontiguousarray(blocks.transpose(2, 0, 1, 3)).reshape(r, s)
+
+
+def subblock_target(
+    i: np.ndarray | int, j: np.ndarray | int, r: int, s: int
+) -> tuple[np.ndarray | int, np.ndarray | int]:
+    """Index map of the subblock permutation, in the paper's arithmetic
+    form: ``i' = ⌊j/√s⌋·r/√s + ⌊i/√s⌋`` and
+    ``j' = (j mod √s) + (i mod √s)·√s``."""
+    _check_divides(r, s)
+    t = sqrt_pow4(s)
+    i_new = (j // t) * (r // t) + i // t
+    j_new = (j % t) + (i % t) * t
+    return i_new, j_new
+
+
+def subblock_target_bitwise(
+    i: np.ndarray | int, j: np.ndarray | int, r: int, s: int
+) -> tuple[np.ndarray | int, np.ndarray | int]:
+    """Index map of the subblock permutation computed exactly as the bit
+    permutation of the paper's Figure 1 — an independent formulation used
+    to cross-validate :func:`subblock_target`.
+
+    With ``h = lg √s``: field ``x`` (``i`` bits ``0..h-1``) becomes ``j'``
+    bits ``h..2h-1``; ``w`` (``i`` bits ``h..lg r - 1``) becomes ``i'``
+    bits ``0..lg(r/√s)-1``; ``y`` (``j`` bits ``h..2h-1``) becomes ``i'``
+    bits ``lg(r/√s)..lg r - 1``; ``z`` (``j`` bits ``0..h-1``) stays as
+    ``j'`` bits ``0..h-1``.
+    """
+    _check_divides(r, s)
+    t = sqrt_pow4(s)
+    if r % t:
+        raise DimensionError(f"require √s | r, got r={r}, √s={t}")
+    h = ilog2(t)
+    lg_r = ilog2(r)
+    x = extract_bits(i, 0, h)
+    w = extract_bits(i, h, lg_r - h)
+    z = extract_bits(j, 0, h)
+    y = extract_bits(j, h, h)
+    i_new = (y << (lg_r - h)) | w
+    j_new = (x << h) | z
+    return i_new, j_new
+
+
+# ---------------------------------------------------------------------------
+# Generic helpers
+# ---------------------------------------------------------------------------
+
+def apply_index_map(matrix: np.ndarray, target_fn) -> np.ndarray:
+    """Apply an index map ``(i, j, r, s) → (i', j')`` to a whole matrix by
+    explicit scatter — the reference implementation the reshape-based fast
+    paths are tested against."""
+    r, s = matrix.shape
+    ii, jj = np.meshgrid(np.arange(r), np.arange(s), indexing="ij")
+    ti, tj = target_fn(ii, jj, r, s)
+    out = np.empty_like(matrix)
+    out[ti, tj] = matrix
+    return out
+
+
+def column_major_rank(
+    i: np.ndarray | int, j: np.ndarray | int, r: int
+) -> np.ndarray | int:
+    """The column-major flat position of element ``(i, j)``: ``j·r + i``."""
+    return j * r + i

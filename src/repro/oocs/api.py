@@ -1,0 +1,111 @@
+"""One-call convenience API over the out-of-core sorting programs.
+
+:func:`sort_out_of_core` builds a workspace (virtual disks + input
+store) around an in-memory record array, runs the chosen algorithm, and
+optionally verifies the output — the entry point the examples and most
+tests use. For long-lived stores or repeated runs over the same data,
+drive :mod:`repro.oocs.base` and the algorithm modules directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.oocs.base import OocJob, OocResult, make_workspace
+from repro.oocs.baseline_io import baseline_io_passes
+from repro.oocs.hybrid import hybrid_columnsort_ooc
+from repro.oocs.hybrid import derive_shape as hybrid_shape
+from repro.oocs.mcolumnsort import m_columnsort_ooc
+from repro.oocs.mcolumnsort import derive_shape as m_shape
+from repro.oocs.subblock import subblock_columnsort_ooc
+from repro.oocs.subblock import derive_shape as subblock_shape
+from repro.oocs.threaded import threaded_columnsort_ooc
+from repro.oocs.threaded import derive_shape as threaded_shape
+from repro.oocs.verify import verify_output
+from repro.records.format import RecordFormat
+
+#: algorithm name → (runner, shape resolver, striped input layout?)
+ALGORITHMS: dict[str, tuple] = {
+    "threaded": (threaded_columnsort_ooc, threaded_shape, False),
+    "subblock": (subblock_columnsort_ooc, subblock_shape, False),
+    "m": (m_columnsort_ooc, m_shape, True),
+    "hybrid": (hybrid_columnsort_ooc, hybrid_shape, True),
+}
+
+
+def sort_out_of_core(
+    algorithm: str,
+    records: np.ndarray,
+    cluster: ClusterConfig,
+    fmt: RecordFormat,
+    buffer_records: int,
+    workdir: str | Path | None = None,
+    verify: bool = True,
+    collect_trace: bool = True,
+) -> OocResult:
+    """Sort ``records`` out-of-core with the named algorithm
+    (``"threaded"``, ``"subblock"``, ``"m"``, or ``"hybrid"``).
+
+    ``buffer_records`` is the per-processor buffer ``r`` in records:
+    the column height for threaded/subblock, the per-processor portion
+    of an ``M``-high column for m/hybrid.
+
+    With ``verify=True`` (default) the PDM output is read back and
+    checked to be a sorted permutation of the input with intact keys.
+
+    >>> from repro.records import RecordFormat, generate
+    >>> from repro.cluster import ClusterConfig
+    >>> fmt = RecordFormat("u8", 64)
+    >>> recs = generate("uniform", fmt, 8192, seed=1)
+    >>> cfg = ClusterConfig(p=4, mem_per_proc=2**12)
+    >>> res = sort_out_of_core("threaded", recs, cfg, fmt, buffer_records=512)
+    >>> res.passes
+    3
+    """
+    try:
+        runner, shape_of, striped = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    job = OocJob(
+        cluster=cluster,
+        fmt=fmt,
+        n=len(records),
+        buffer_records=buffer_records,
+        workdir=workdir,
+    )
+    r, s = shape_of(job)
+    ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir, striped=striped)
+    result = runner(job, ws.input, collect_trace=collect_trace)
+    result.workspace = ws  # keep disks (and any TemporaryDirectory) alive
+    if verify:
+        verify_output(result.output, records)
+    return result
+
+
+def run_baseline_io(
+    records: np.ndarray,
+    cluster: ClusterConfig,
+    fmt: RecordFormat,
+    buffer_records: int,
+    passes: int = 3,
+    workdir: str | Path | None = None,
+) -> OocResult:
+    """Run the §5 I/O-only baseline over ``records``."""
+    job = OocJob(
+        cluster=cluster,
+        fmt=fmt,
+        n=len(records),
+        buffer_records=buffer_records,
+        workdir=workdir,
+    )
+    r, s = threaded_shape(job)
+    ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir)
+    result = baseline_io_passes(job, ws.input, passes=passes)
+    result.workspace = ws
+    return result

@@ -1,0 +1,416 @@
+"""Shared machinery of the out-of-core columnsort programs.
+
+Every program is organized as *passes* over the data; every pass is
+decomposed into rounds; every round flows through a pipeline whose
+stages are, functionally, the bodies of the helpers here:
+
+* :func:`pass_step2_deal` — sort each column and apply step 2's
+  transpose-and-reshape (pass 1 of all programs);
+* :func:`pass_step4_deal` — sort each column and apply step 4's
+  reshape-and-transpose (pass 2 of threaded/M; pass 3 of subblock);
+* :func:`pass_final_windows` — steps 5-8 realized window-wise: sort
+  each column, exchange halves with the neighboring column's owner,
+  merge the window, and write it at its final PDM position (the last
+  pass of every program);
+* :func:`pass_io_only` — the baseline that only reads and writes.
+
+The helpers run inside SPMD rank programs. Rank 0 additionally emits a
+:class:`~repro.simulate.trace.PassTrace` (the processors are symmetric,
+so one rank's trace describes them all).
+
+A correctness-relevant storage freedom (also exploited by the paper's
+implementation, cf. footnote 5 on write patterns and sorted runs):
+between passes, records need to be in the right *column* but may sit at
+any position within it, because every pass begins by sorting its
+columns. Only the final pass writes exact (PDM) positions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+from repro.cluster.config import ClusterConfig
+from repro.disks.matrixfile import ColumnStore, PdmStore
+from repro.disks.virtual_disk import VirtualDisk, make_disk_array
+from repro.errors import ConfigError
+from repro.matrix.bits import is_power_of_two
+from repro.records.format import RecordFormat
+from repro.simulate.trace import (
+    PassTrace,
+    RunTrace,
+    five_stage_pipeline,
+    io_only_pipeline,
+    seven_stage_pipeline,
+)
+from repro.simulate.traces import (
+    deal_round_work,
+    final_round_work,
+    io_round_work,
+)
+
+#: Point-to-point tag used for the half-column exchange of the final pass.
+WINDOW_TAG = 77
+
+
+@dataclass
+class OocJob:
+    """A fully specified out-of-core sort problem.
+
+    Parameters
+    ----------
+    cluster:
+        The machine (``P``, ``D``, memory per processor).
+    fmt:
+        Record format.
+    n:
+        Number of records (power of 2).
+    buffer_records:
+        The per-processor buffer ``r`` in records (the paper's "buffer
+        size", there quoted in bytes). For threaded/subblock columnsort
+        this is the column height; for M-columnsort it is the
+        per-processor *portion* of an ``r = M``-high column.
+    workdir:
+        Directory for the virtual disks.
+    pdm_block:
+        Output PDM block size in records (defaults to
+        ``buffer_records / P``, so one buffer's worth of output stripes
+        across all processors' disks).
+    """
+
+    cluster: ClusterConfig
+    fmt: RecordFormat
+    n: int
+    buffer_records: int
+    workdir: str | Path | None = None
+    pdm_block: int | None = None
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise ConfigError(f"N must be a power of 2 records, got {self.n}")
+        if not is_power_of_two(self.buffer_records):
+            raise ConfigError(
+                f"buffer_records must be a power of 2, got {self.buffer_records}"
+            )
+        if self.buffer_records > self.cluster.mem_per_proc:
+            raise ConfigError(
+                f"buffer of {self.buffer_records} records exceeds per-processor "
+                f"memory of {self.cluster.mem_per_proc} records"
+            )
+        if self.pdm_block is None:
+            self.pdm_block = max(1, self.buffer_records // self.cluster.p)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.buffer_records * self.fmt.record_size
+
+
+@dataclass
+class OocResult:
+    """What an out-of-core sort run produced."""
+
+    algorithm: str
+    job: OocJob
+    output: PdmStore
+    passes: int
+    io: dict  # aggregate disk I/O over the whole run
+    io_per_pass: list[dict]  # one {reads, writes, ...} delta per pass
+    comm_per_pass: list[dict]  # rank-0 comm deltas per pass
+    comm_total: dict  # aggregate across ranks
+    trace: RunTrace | None = None
+    workspace: object = None  # set by the convenience API to pin disks alive
+
+    def output_records(self) -> np.ndarray:
+        """Read the sorted output back (verification convenience)."""
+        return self.output.read_all()
+
+
+@dataclass
+class Workspace:
+    """Disks plus the input store for a run."""
+
+    disks: list[VirtualDisk]
+    input: ColumnStore
+    workdir: Path
+    _tmp: object = field(default=None, repr=False)
+
+
+def make_workspace(
+    cluster: ClusterConfig,
+    fmt: RecordFormat,
+    records: np.ndarray,
+    r: int,
+    s: int,
+    workdir: str | Path | None = None,
+    striped: bool = False,
+) -> Workspace:
+    """Create the virtual disks and load ``records`` as the input matrix
+    (column-major: column ``j`` is ``records[j·r:(j+1)·r]``).
+
+    With ``striped=True`` the input uses M-columnsort's layout
+    (:class:`~repro.disks.matrixfile.StripedColumnStore`).
+    """
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-oocs-")
+        workdir = tmp.name
+    disks = make_disk_array(workdir, cluster.virtual_disks)
+    if striped:
+        from repro.disks.matrixfile import StripedColumnStore
+
+        store = StripedColumnStore.from_records(
+            cluster, fmt, records, r, s, disks, name="input"
+        )
+    else:
+        store = ColumnStore.from_records(
+            cluster, fmt, records, r, s, disks, name="input"
+        )
+    ws = Workspace(disks=disks, input=store, workdir=Path(workdir))
+    ws._tmp = tmp  # keep TemporaryDirectory alive with the workspace
+    return ws
+
+
+# ---------------------------------------------------------------------------
+# Pass bodies (run per rank)
+# ---------------------------------------------------------------------------
+
+def pass_step2_deal(
+    comm: Comm,
+    src: ColumnStore,
+    dst: ColumnStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None = None,
+) -> None:
+    """Pass = columnsort steps 1+2 (or 3+4's mirror — see
+    :func:`pass_step4_deal`): each round, sort one column per processor
+    and deal it across all columns.
+
+    Step 2 sends the record at sorted row ``i`` of column ``c`` to
+    column ``i mod s``, row ``c·r/s + i div s``; each processor sends
+    exactly ``r/P`` records to every processor, and each target column
+    receives one contiguous band segment per round.
+    """
+    p = comm.size
+    r, s = src.r, src.s
+    band = r // s  # rows each source column contributes to each target
+    for t in range(s // p):
+        c = t * p + comm.rank
+        col = src.read_column(comm.rank, c)
+        col = col[np.argsort(col["key"], kind="stable")]
+        # Sorted row i goes to target column i mod s, owned by rank i mod P.
+        parts = [col[q::p] for q in range(p)]
+        recv = comm.alltoallv(parts)
+        # recv[q] holds rows i ≡ rank (mod P) of source column t·P+q in
+        # ascending order; as a (band, s/P) block its column l is the
+        # slice bound for target column rank + l·P.
+        blocks = [a.reshape(band, s // p) for a in recv]
+        for l in range(s // p):
+            target = comm.rank + l * p
+            seg = np.concatenate([blocks[q][:, l] for q in range(p)])
+            dst.write_segment(comm.rank, target, t * p * band, seg)
+        if trace is not None:
+            trace.rounds.append(deal_round_work(fmt.record_size, r, (p - 1) / p, p - 1))
+
+
+def pass_step4_deal(
+    comm: Comm,
+    src: ColumnStore,
+    dst: ColumnStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None = None,
+) -> None:
+    """Pass = columnsort steps 3+4: sort one column per processor per
+    round and apply the inverse deal.
+
+    Step 4 sends the ``r/s``-record chunk ``m`` of sorted column ``c``
+    to target column ``m`` (at rows ``≡ c mod s``, strided — the records
+    are appended instead, since the next pass re-sorts each column).
+    """
+    p = comm.size
+    r, s = src.r, src.s
+    chunk = r // s
+    for t in range(s // p):
+        c = t * p + comm.rank
+        col = src.read_column(comm.rank, c)
+        col = col[np.argsort(col["key"], kind="stable")]
+        chunks = col.reshape(s, chunk)
+        parts = [chunks[q::p].reshape(-1) for q in range(p)]
+        recv = comm.alltoallv(parts)
+        blocks = [a.reshape(s // p, chunk) for a in recv]
+        for l in range(s // p):
+            target = comm.rank + l * p
+            seg = np.concatenate([blocks[q][l] for q in range(p)])
+            dst.append_to_column(comm.rank, target, seg)
+        if trace is not None:
+            trace.rounds.append(deal_round_work(fmt.record_size, r, (p - 1) / p, p - 1))
+
+
+def pass_final_windows(
+    comm: Comm,
+    src: ColumnStore,
+    pdm: PdmStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None = None,
+) -> None:
+    """The combined last pass (steps 5+6+7+8).
+
+    Steps 6-8 are realized window-wise: window ``w`` is the bottom half
+    of column ``w-1`` followed by the top half of column ``w`` (±∞
+    padding at the ends); once sorted (step 7 — a two-run merge), window
+    ``w`` *is* the final output at global ranks
+    ``[w·r − r/2, w·r + r/2)``, so the pass writes it straight into PDM
+    position. Pipeline: read, sort, communicate (half exchange), sort,
+    communicate (PDM routing), permute, write — the paper's 7 stages.
+    """
+    p = comm.size
+    r, s = src.r, src.s
+    half = r // 2
+    n = r * s
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    rounds = s // p
+
+    def window_range(w: int) -> tuple[int, int]:
+        """Final global range [start, stop) of sorted window w."""
+        return max(0, w * r - half), min(n, w * r + half)
+
+    def route_and_write(t: int, window: np.ndarray | None, extra: bool) -> None:
+        """Second communicate + permute + write: every rank routes its
+        window (if any) to the PDM owners and writes what it receives.
+        Receivers reconstruct senders' window ranges deterministically
+        from the round number — no metadata crosses the network."""
+        parts = [fmt.empty(0) for _ in range(p)]
+        if window is not None:
+            w = s if extra else t * p + comm.rank
+            start, _ = window_range(w)
+            for q, pieces in pdm.split_by_owner(start, len(window)).items():
+                parts[q] = np.concatenate(
+                    [window[rel : rel + nn] for (_d, _o, rel, nn) in pieces]
+                )
+        recv = comm.alltoallv(parts)
+        for q_src in range(p):
+            w = s if extra else t * p + q_src
+            if extra and q_src != 0:
+                continue
+            if w > s:
+                continue
+            start, stop = window_range(w)
+            pieces = pdm.split_by_owner(start, stop - start).get(comm.rank, [])
+            got = recv[q_src]
+            at = 0
+            for (_disk, _off, rel, nn) in pieces:
+                pdm.write_global(comm.rank, start + rel, got[at : at + nn])
+                at += nn
+
+    for t in range(rounds):
+        c = t * p + comm.rank
+        col = src.read_column(comm.rank, c)
+        col = col[np.argsort(col["key"], kind="stable")]  # step 5
+        # First communicate: bottom half → owner of window c+1.
+        comm.send(col[half:], right, tag=WINDOW_TAG)
+        if t == 0 and comm.rank == 0:
+            upper = fmt.pad_low(half)  # window 0's −∞ padding
+        else:
+            upper = comm.recv(left, tag=WINDOW_TAG)  # bottom of column c−1
+        merged = np.concatenate([upper, col[:half]])
+        window = merged[np.argsort(merged["key"], kind="stable")]  # step 7
+        if c == 0:
+            window = window[half:]  # drop the −∞ padding (step 8)
+        route_and_write(t, window, extra=False)
+        if trace is not None:
+            trace.rounds.append(final_round_work(fmt.record_size, r, p))
+
+    # Window s: the bottom half of the last column followed by +∞
+    # padding — already sorted, so rank 0 (its owner) writes it directly.
+    if comm.rank == 0:
+        tail = comm.recv(left, tag=WINDOW_TAG)
+        route_and_write(rounds, tail, extra=True)
+    else:
+        route_and_write(rounds, None, extra=True)
+
+
+def pass_io_only(
+    comm: Comm,
+    src: ColumnStore,
+    dst: ColumnStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None = None,
+) -> None:
+    """Read every owned column and write it back — one baseline I/O pass
+    (paper §5's 'just the I/O portions' runs)."""
+    p = comm.size
+    r, s = src.r, src.s
+    for t in range(s // p):
+        c = t * p + comm.rank
+        col = src.read_column(comm.rank, c)
+        dst.write_column(comm.rank, c, col)
+        if trace is not None:
+            trace.rounds.append(io_round_work(fmt.record_size, r))
+
+
+# ---------------------------------------------------------------------------
+# Run orchestration
+# ---------------------------------------------------------------------------
+
+class PassMarker:
+    """Synchronized per-pass accounting inside a rank program.
+
+    Call :meth:`mark` at every pass boundary: it barriers, snapshots this
+    rank's communication counters and (on rank 0) the aggregate disk I/O,
+    then barriers again so no rank races ahead into the next pass while
+    the snapshot is taken.
+    """
+
+    def __init__(self, comm: Comm, disks: list[VirtualDisk]) -> None:
+        from repro.disks.iostats import IoStats
+
+        self._iostats = IoStats
+        self.comm = comm
+        self.disks = disks
+        self.comm_marks = [comm.stats.snapshot()]
+        self.io_marks = (
+            [IoStats.combine([d.stats for d in disks])] if comm.rank == 0 else []
+        )
+
+    def mark(self) -> None:
+        self.comm.barrier()
+        self.comm_marks.append(self.comm.stats.snapshot())
+        if self.comm.rank == 0:
+            self.io_marks.append(
+                self._iostats.combine([d.stats for d in self.disks])
+            )
+        self.comm.barrier()
+
+    @staticmethod
+    def _deltas(marks: list[dict], keys: tuple) -> list[dict]:
+        return [
+            {k: marks[i + 1][k] - marks[i][k] for k in keys}
+            for i in range(len(marks) - 1)
+        ]
+
+    def comm_deltas(self) -> list[dict]:
+        return self._deltas(
+            self.comm_marks,
+            ("messages", "bytes", "network_messages", "network_bytes"),
+        )
+
+    def io_deltas(self) -> list[dict]:
+        return self._deltas(
+            self.io_marks, ("reads", "writes", "bytes_read", "bytes_written")
+        )
+
+
+def new_pass_trace(name: str, shape: str) -> PassTrace:
+    """Create a :class:`PassTrace` with the named pipeline shape
+    (``"five"``, ``"seven"``, or ``"io"``)."""
+    stages = {
+        "five": five_stage_pipeline,
+        "seven": seven_stage_pipeline,
+        "io": io_only_pipeline,
+    }[shape]()
+    return PassTrace(name=name, stages=stages)
+

@@ -1,0 +1,78 @@
+"""The I/O-only baseline (paper §5).
+
+For calibration the paper ran "just the I/O portions of three and four
+passes of columnsort": read every record and write it back, ``k``
+times, with no sorting or communication. The gap between an algorithm's
+time and this baseline is its non-I/O overhead — threaded columnsort at
+buffer 2^25 sat just barely above the 3-pass baseline.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.comm import Comm
+from repro.cluster.spmd import run_spmd
+from repro.cluster.stats import combined
+from repro.disks.iostats import IoStats
+from repro.disks.matrixfile import ColumnStore
+from repro.errors import ConfigError
+from repro.oocs.base import OocJob, OocResult, new_pass_trace, pass_io_only
+from repro.simulate.trace import RunTrace
+
+
+def _rank_program(
+    comm: Comm, job: OocJob, stores: list, passes: int, collect_trace: bool
+) -> dict:
+    traces = []
+    for k in range(passes):
+        trace = None
+        if comm.rank == 0 and collect_trace:
+            trace = new_pass_trace(f"io-pass{k + 1}", "io")
+            traces.append(trace)
+        pass_io_only(comm, stores[k], stores[k + 1], job.fmt, trace)
+        comm.barrier()
+    return {"traces": traces}
+
+
+def baseline_io_passes(
+    job: OocJob,
+    input_store: ColumnStore,
+    passes: int = 3,
+    collect_trace: bool = True,
+) -> OocResult:
+    """Run ``passes`` read+write-only passes over the data (3 for the
+    threaded/M baseline, 4 for the subblock baseline)."""
+    if passes < 1:
+        raise ConfigError(f"need at least one pass, got {passes}")
+    r, s = input_store.r, input_store.s
+    cluster, fmt = job.cluster, job.fmt
+    disks = input_store.disks
+    stores = [input_store] + [
+        ColumnStore(cluster, fmt, r, s, disks, name=f"io-t{k}")
+        for k in range(passes)
+    ]
+    io_before = IoStats.combine([d.stats for d in disks])
+    res = run_spmd(cluster.p, _rank_program, job, stores, passes, collect_trace)
+    io_after = IoStats.combine([d.stats for d in disks])
+    trace = None
+    if collect_trace:
+        trace = RunTrace(
+            algorithm=f"baseline-io-{passes}",
+            n_records=job.n,
+            record_size=fmt.record_size,
+            p=cluster.p,
+            buffer_bytes=job.buffer_bytes,
+            passes=res.returns[0]["traces"],
+        )
+    for store in stores[1:-1]:
+        store.delete()
+    return OocResult(
+        algorithm=f"baseline-io-{passes}",
+        job=job,
+        output=stores[-1],  # a ColumnStore copy of the input, not a PdmStore
+        passes=passes,
+        io={k: io_after[k] - io_before[k] for k in io_after},
+        io_per_pass=[],
+        comm_per_pass=[],
+        comm_total=combined(res.stats),
+        trace=trace,
+    )

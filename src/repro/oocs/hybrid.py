@@ -1,0 +1,190 @@
+"""Hybrid columnsort: subblock + M combined (paper §6, future work).
+
+The paper's first future-work item: "combine subblock columnsort and
+M-columnsort into one four-pass algorithm which has a problem-size
+bound of N ≤ M^(5/3)/4^(2/3), i.e., restriction (2) but with M/P
+replaced by M."
+
+Construction: M-columnsort's height interpretation (``r = M``, columns
+striped across the cluster, distributed in-core sort stages) carrying
+subblock columnsort's step sequence (the subblock pass inserted as an
+extra pass, relaxing the outer height restriction to ``M ≥ 4·s^(3/2)``
+with ``s`` a power of 4).
+
+The subblock permutation composes cleanly with the striped layout:
+after the step-3 distributed sort, the record at sorted rank ``i`` of
+column ``c`` belongs to target column ``(c mod √s) + (i mod √s)·√s``;
+each rank's balanced slice contains ``M/(P·√s)`` records for each of
+the ``√s`` target columns, which it appends to its own portions — so
+the subblock pass, like the deal passes, needs no out-of-core
+communicate stage at all in this regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+from repro.cluster.spmd import run_spmd
+from repro.cluster.stats import combined
+from repro.disks.iostats import IoStats
+from repro.disks.matrixfile import PdmStore, StripedColumnStore
+from repro.errors import ConfigError, DimensionError
+from repro.matrix.bits import is_power_of_four, sqrt_pow4
+from repro.oocs.base import OocJob, OocResult, PassMarker
+from repro.oocs.incore.columnsort_dist import distributed_columnsort
+from repro.oocs.mcolumnsort import _pass1_m, _pass2_m, _pass3_m
+from repro.records.format import RecordFormat
+from repro.simulate.trace import (
+    PassTrace,
+    RunTrace,
+    eleven_stage_pipeline,
+    twenty_stage_pipeline,
+)
+from repro.simulate.traces import m_deal_round_work
+
+
+def derive_shape(job: OocJob) -> tuple[int, int]:
+    """Resolve and validate the matrix of a hybrid job: ``r = M``,
+    ``s = N/M`` a power of 4, and the relaxed height restriction
+    ``M ≥ 4·s^(3/2)`` — giving bound ``N ≤ M^(5/3)/4^(2/3)``."""
+    p = job.cluster.p
+    if p < 2:
+        raise ConfigError("hybrid columnsort needs P ≥ 2")
+    portion = job.buffer_records
+    r = p * portion
+    if job.n % r:
+        raise ConfigError(f"column height r=M={r} must divide N={job.n}")
+    s = job.n // r
+    if not is_power_of_four(s):
+        raise DimensionError(
+            f"hybrid columnsort requires s to be a power of 4, got s={s}"
+        )
+    if r * r < 16 * s**3:
+        raise DimensionError(
+            f"relaxed height restriction violated: M={r} < 4·s^(3/2)="
+            f"{4 * s * sqrt_pow4(s)} — N={job.n} exceeds the hybrid bound"
+        )
+    if portion < 2 * p * p:
+        raise DimensionError(
+            f"in-core height restriction violated: M/P={portion} < 2P²={2 * p * p}"
+        )
+    if portion % s:
+        raise ConfigError(f"s={s} must divide M/P={portion}")
+    return r, s
+
+
+def _pass_subblock_m(
+    comm: Comm,
+    src: StripedColumnStore,
+    dst: StripedColumnStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None,
+) -> None:
+    """The subblock pass under ``r = M``: distributed sort (step 3) then
+    the subblock permutation (step 3.1) applied by sorted rank."""
+    p, s = comm.size, src.s
+    t = sqrt_pow4(s)
+    portion = src.portion
+    share = portion // t
+    for c in range(s):
+        local = src.read_portion(comm.rank, c)
+        mine = distributed_columnsort(comm, local, fmt)  # step 3
+        c0 = c % t
+        base = comm.rank * portion
+        x = (base + np.arange(portion)) % t
+        grouped = mine[np.argsort(x, kind="stable")]
+        for k in range(t):
+            target = c0 + k * t
+            dst.append_to_portion(
+                comm.rank, target, grouped[k * share : (k + 1) * share]
+            )
+        if trace is not None:
+            trace.rounds.append(m_deal_round_work(fmt.record_size, portion, p, "balanced"))
+
+
+def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
+    fmt = job.fmt
+    want_trace = comm.rank == 0 and collect_trace
+    marker = PassMarker(comm, stores["input"].disks)
+
+    t1 = PassTrace("pass1:steps1-2", eleven_stage_pipeline()) if want_trace else None
+    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1)
+    marker.mark()
+
+    t2 = (
+        PassTrace("pass2:steps3+3.1(subblock)", eleven_stage_pipeline())
+        if want_trace
+        else None
+    )
+    _pass_subblock_m(comm, stores["t1"], stores["t2"], fmt, t2)
+    marker.mark()
+
+    t3 = PassTrace("pass3:steps3.2+4", eleven_stage_pipeline()) if want_trace else None
+    _pass2_m(comm, stores["t2"], stores["t3"], fmt, t3)
+    marker.mark()
+
+    t4 = PassTrace("pass4:steps5-8", twenty_stage_pipeline()) if want_trace else None
+    _pass3_m(comm, stores["t3"], stores["output"], fmt, t4)
+    marker.mark()
+
+    return {
+        "traces": [t for t in (t1, t2, t3, t4) if t is not None],
+        "comm_per_pass": marker.comm_deltas(),
+        "io_per_pass": marker.io_deltas(),
+    }
+
+
+def hybrid_columnsort_ooc(
+    job: OocJob,
+    input_store: StripedColumnStore,
+    collect_trace: bool = True,
+    keep_intermediates: bool = False,
+) -> OocResult:
+    """Run the 4-pass hybrid (subblock + M) columnsort — the largest
+    problem-size bound of all the variants, ``N ≤ M^(5/3)/4^(2/3)``."""
+    r, s = derive_shape(job)
+    if (input_store.r, input_store.s) != (r, s):
+        raise ConfigError(
+            f"input store is {input_store.r}×{input_store.s}, job wants {r}×{s}"
+        )
+    cluster, fmt = job.cluster, job.fmt
+    disks = input_store.disks
+    stores = {
+        "input": input_store,
+        "t1": StripedColumnStore(cluster, fmt, r, s, disks, name="hy-t1"),
+        "t2": StripedColumnStore(cluster, fmt, r, s, disks, name="hy-t2"),
+        "t3": StripedColumnStore(cluster, fmt, r, s, disks, name="hy-t3"),
+        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+    }
+
+    io_before = IoStats.combine([d.stats for d in disks])
+    res = run_spmd(cluster.p, _rank_program, job, stores, collect_trace)
+    io_after = IoStats.combine([d.stats for d in disks])
+
+    rank0 = res.returns[0]
+    run_trace = None
+    if collect_trace:
+        run_trace = RunTrace(
+            algorithm="hybrid",
+            n_records=job.n,
+            record_size=fmt.record_size,
+            p=cluster.p,
+            buffer_bytes=job.buffer_bytes,
+            passes=rank0["traces"],
+        )
+    if not keep_intermediates:
+        for key in ("t1", "t2", "t3"):
+            stores[key].delete()
+
+    return OocResult(
+        algorithm="hybrid",
+        job=job,
+        output=stores["output"],
+        passes=4,
+        io={k: io_after[k] - io_before[k] for k in io_after},
+        io_per_pass=rank0["io_per_pass"],
+        comm_per_pass=rank0["comm_per_pass"],
+        comm_total=combined(res.stats),
+        trace=run_trace,
+    )

@@ -1,0 +1,331 @@
+"""M-columnsort: 3 passes with the height interpretation ``r = M``
+(paper §4).
+
+Each out-of-core column holds ``M`` records — the whole cluster's
+memory — striped across all processors (each holds ``M/P`` of every
+column). The per-pass sort stage becomes a distributed in-core
+columnsort on an ``(M/P) × P`` matrix, and because every processor owns
+a portion of every column, the in-core sort's final communication step
+can deliver each processor exactly the sorted ranks it must write into
+its own portions of the target columns — eliminating the out-of-core
+communicate stage in passes 1-2 and one of the two in the last pass.
+
+The payoff is problem-size restriction (3), ``N ≤ M^(3/2)/√2``: the
+maximum problem size now scales (superlinearly) with the *total* memory
+of the system, so adding processors grows the reachable ``N`` even at
+fixed memory per processor — up to a terabyte on the paper's 16-node
+configuration.
+
+Pipelines: passes 1-2 have 11 stages on 4 threads (read+write, permute,
+in-core local sort, in-core communication); the last pass has 20 stages
+on 7 threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+from repro.cluster.spmd import run_spmd
+from repro.cluster.stats import combined
+from repro.disks.iostats import IoStats
+from repro.disks.matrixfile import PdmStore, StripedColumnStore
+from repro.errors import ConfigError, DimensionError
+from repro.oocs.base import OocJob, OocResult, PassMarker
+from repro.oocs.incore.columnsort_dist import distributed_columnsort
+from repro.oocs.incore.common import Ranges
+from repro.records.format import RecordFormat
+from repro.simulate.trace import (
+    PassTrace,
+    RunTrace,
+    eleven_stage_pipeline,
+    twenty_stage_pipeline,
+)
+from repro.simulate.traces import m_deal_round_work, m_final_round_work
+
+
+def derive_shape(job: OocJob) -> tuple[int, int]:
+    """Resolve and validate the ``r × s`` matrix of an M-columnsort job:
+    ``r = M = P · buffer`` and ``s = N/M``, subject to the outer height
+    restriction ``M ≥ 2s²``, the inner one ``M/P ≥ 2P²`` (the sort
+    stage's in-core columnsort), and ``s | M/P`` (so each round's
+    delivery splits evenly)."""
+    p = job.cluster.p
+    if p < 2:
+        raise ConfigError(
+            "M-columnsort needs P ≥ 2 (with one processor it degenerates "
+            "to threaded columnsort)"
+        )
+    portion = job.buffer_records
+    r = p * portion  # r = M
+    if job.n % r:
+        raise ConfigError(f"column height r=M={r} must divide N={job.n}")
+    s = job.n // r
+    if r < 2 * s * s:
+        raise DimensionError(
+            f"height restriction violated: M={r} < 2s²={2 * s * s} — "
+            f"N={job.n} exceeds M-columnsort's problem-size bound"
+        )
+    if portion < 2 * p * p:
+        raise DimensionError(
+            f"in-core height restriction violated: M/P={portion} < 2P²="
+            f"{2 * p * p} (the sort stage's distributed columnsort)"
+        )
+    if portion % s:
+        raise ConfigError(
+            f"s={s} must divide M/P={portion} for even per-round delivery"
+        )
+    return r, s
+
+
+# ---------------------------------------------------------------------------
+# Pass bodies
+# ---------------------------------------------------------------------------
+
+def _pass1_m(
+    comm: Comm,
+    src: StripedColumnStore,
+    dst: StripedColumnStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None,
+) -> None:
+    """Steps 1+2 with ``r = M``: one round per column; the distributed
+    sort delivers balanced contiguous sorted ranges, whose records each
+    rank deals into its own portions of the ``s`` target columns
+    (sorted rank ``i`` → target column ``i mod s``)."""
+    p, s = comm.size, src.s
+    portion = src.portion
+    share = portion // s
+    for c in range(s):
+        local = src.read_portion(comm.rank, c)
+        mine = distributed_columnsort(comm, local, fmt)
+        base = comm.rank * portion
+        cols = (base + np.arange(portion)) % s
+        grouped = mine[np.argsort(cols, kind="stable")]
+        for target in range(s):
+            dst.append_to_portion(
+                comm.rank, target, grouped[target * share : (target + 1) * share]
+            )
+        if trace is not None:
+            trace.rounds.append(m_deal_round_work(fmt.record_size, portion, p, "balanced"))
+
+
+def _pass2_m(
+    comm: Comm,
+    src: StripedColumnStore,
+    dst: StripedColumnStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None,
+) -> None:
+    """Steps 3+4 with ``r = M``: sorted chunk ``m`` (ranks
+    ``[m·M/s, (m+1)·M/s)``) belongs to target column ``m``; the in-core
+    sort delivers each rank the ``q``-th ``1/P`` slice of every chunk,
+    which it appends to its own portion of the corresponding column —
+    keeping all portions balanced at ``M/P`` records."""
+    p, r, s = comm.size, src.r, src.s
+    portion = src.portion
+    chunk = r // s
+    piece = chunk // p
+    ranges: Ranges = [
+        [(m * chunk + q * piece, m * chunk + (q + 1) * piece) for m in range(s)]
+        for q in range(p)
+    ]
+    for c in range(s):
+        local = src.read_portion(comm.rank, c)
+        mine = distributed_columnsort(comm, local, fmt, target_ranges=ranges)
+        for m in range(s):
+            dst.append_to_portion(
+                comm.rank, m, mine[m * piece : (m + 1) * piece]
+            )
+        if trace is not None:
+            trace.rounds.append(m_deal_round_work(fmt.record_size, portion, p, "scattered"))
+
+
+def _route_write(
+    comm: Comm,
+    pdm: PdmStore,
+    fmt: RecordFormat,
+    my_piece: tuple[int, np.ndarray] | None,
+    piece_range_of,
+) -> None:
+    """The remaining out-of-core communicate + permute + write: each
+    rank splits its (globally positioned) piece by PDM disk owner;
+    receivers reconstruct every sender's range from the deterministic
+    ``piece_range_of(q) -> (gstart, length) | None`` and write."""
+    p = comm.size
+    parts = [fmt.empty(0) for _ in range(p)]
+    if my_piece is not None:
+        gstart, arr = my_piece
+        for q, pieces in pdm.split_by_owner(gstart, len(arr)).items():
+            parts[q] = np.concatenate(
+                [arr[rel : rel + nn] for (_d, _o, rel, nn) in pieces]
+            )
+    recv = comm.alltoallv(parts)
+    for q_src in range(p):
+        rng = piece_range_of(q_src)
+        if rng is None:
+            continue
+        gstart, length = rng
+        pieces = pdm.split_by_owner(gstart, length).get(comm.rank, [])
+        got = recv[q_src]
+        at = 0
+        for (_disk, _off, rel, nn) in pieces:
+            pdm.write_global(comm.rank, gstart + rel, got[at : at + nn])
+            at += nn
+
+
+def _pass3_m(
+    comm: Comm,
+    src: StripedColumnStore,
+    pdm: PdmStore,
+    fmt: RecordFormat,
+    trace: PassTrace | None,
+) -> None:
+    """Steps 5-8 with ``r = M``, window-wise.
+
+    Window ``w`` = bottom half of column ``w−1`` + top half of column
+    ``w``; once sorted it occupies final global ranks
+    ``[w·M − M/2, w·M + M/2)``. Per round: distributed sort of column
+    ``c`` (step 5); ranks in the top half contribute their slices and
+    ranks in the bottom half contribute the slices they retained from
+    column ``c−1`` to a second distributed sort (step 7; this is where
+    the first out-of-core communicate stage disappears — the halves are
+    already distributed); the surviving communicate routes the sorted
+    window to PDM disk owners. Windows 0 and ``s`` carry ±∞ padding and
+    reduce to direct writes of already-sorted halves.
+    """
+    p, r, s = comm.size, src.r, src.s
+    portion = src.portion
+    half_ranks = p // 2
+    retained: np.ndarray | None = None
+
+    for c in range(s):
+        local = src.read_portion(comm.rank, c)
+        mine = distributed_columnsort(comm, local, fmt)  # step 5
+        if c == 0:
+            # Window 0: −∞ padding + top(col 0) → its kept half is just
+            # the sorted top half, final ranks [0, M/2).
+            piece = (
+                (comm.rank * portion, mine) if comm.rank < half_ranks else None
+            )
+            _route_write(
+                comm,
+                pdm,
+                fmt,
+                piece,
+                lambda q: (q * portion, portion) if q < half_ranks else None,
+            )
+        else:
+            contribution = mine if comm.rank < half_ranks else retained
+            wsorted = distributed_columnsort(comm, contribution, fmt)  # step 7
+            base = c * r - r // 2
+
+            def range_of(q: int, base=base) -> tuple[int, int]:
+                return (base + q * portion, portion)
+
+            _route_write(
+                comm, pdm, fmt, (base + comm.rank * portion, wsorted), range_of
+            )
+        retained = mine if comm.rank >= half_ranks else None
+        if trace is not None:
+            trace.rounds.append(m_final_round_work(fmt.record_size, portion, p))
+
+    # Window s: bottom(col s−1) + +∞ padding — already sorted; final
+    # ranks [(s−1)·M + q·M/P, …) for the bottom-half ranks.
+    piece = (
+        ((s - 1) * r + comm.rank * portion, retained)
+        if comm.rank >= half_ranks
+        else None
+    )
+    _route_write(
+        comm,
+        pdm,
+        fmt,
+        piece,
+        lambda q: ((s - 1) * r + q * portion, portion) if q >= half_ranks else None,
+    )
+
+
+def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
+    fmt = job.fmt
+    want_trace = comm.rank == 0 and collect_trace
+    marker = PassMarker(comm, stores["input"].disks)
+
+    t1 = (
+        PassTrace("pass1:steps1-2", eleven_stage_pipeline()) if want_trace else None
+    )
+    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1)
+    marker.mark()
+
+    t2 = (
+        PassTrace("pass2:steps3-4", eleven_stage_pipeline()) if want_trace else None
+    )
+    _pass2_m(comm, stores["t1"], stores["t2"], fmt, t2)
+    marker.mark()
+
+    t3 = (
+        PassTrace("pass3:steps5-8", twenty_stage_pipeline()) if want_trace else None
+    )
+    _pass3_m(comm, stores["t2"], stores["output"], fmt, t3)
+    marker.mark()
+
+    return {
+        "traces": [t for t in (t1, t2, t3) if t is not None],
+        "comm_per_pass": marker.comm_deltas(),
+        "io_per_pass": marker.io_deltas(),
+    }
+
+
+def m_columnsort_ooc(
+    job: OocJob,
+    input_store: StripedColumnStore,
+    collect_trace: bool = True,
+    keep_intermediates: bool = False,
+) -> OocResult:
+    """Run 3-pass M-columnsort on ``input_store`` (a striped column
+    store built by :func:`~repro.oocs.base.make_workspace` with
+    ``striped=True``)."""
+    r, s = derive_shape(job)
+    if (input_store.r, input_store.s) != (r, s):
+        raise ConfigError(
+            f"input store is {input_store.r}×{input_store.s}, job wants {r}×{s}"
+        )
+    cluster, fmt = job.cluster, job.fmt
+    disks = input_store.disks
+    stores = {
+        "input": input_store,
+        "t1": StripedColumnStore(cluster, fmt, r, s, disks, name="m-t1"),
+        "t2": StripedColumnStore(cluster, fmt, r, s, disks, name="m-t2"),
+        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+    }
+
+    io_before = IoStats.combine([d.stats for d in disks])
+    res = run_spmd(cluster.p, _rank_program, job, stores, collect_trace)
+    io_after = IoStats.combine([d.stats for d in disks])
+
+    rank0 = res.returns[0]
+    run_trace = None
+    if collect_trace:
+        run_trace = RunTrace(
+            algorithm="m-columnsort",
+            n_records=job.n,
+            record_size=fmt.record_size,
+            p=cluster.p,
+            buffer_bytes=job.buffer_bytes,
+            passes=rank0["traces"],
+        )
+    if not keep_intermediates:
+        stores["t1"].delete()
+        stores["t2"].delete()
+
+    return OocResult(
+        algorithm="m-columnsort",
+        job=job,
+        output=stores["output"],
+        passes=3,
+        io={k: io_after[k] - io_before[k] for k in io_after},
+        io_per_pass=rank0["io_per_pass"],
+        comm_per_pass=rank0["comm_per_pass"],
+        comm_total=combined(res.stats),
+        trace=run_trace,
+    )

@@ -1,0 +1,135 @@
+"""Threaded columnsort: the paper's 3-pass baseline program.
+
+Pass 1 performs columnsort steps 1+2, pass 2 steps 3+4, and pass 3 the
+combined steps 5-8 (the third implementation of [CC02], which all of
+the paper's algorithms start from). Column height is interpreted as
+``r = M/P`` — each column must fit in one processor's memory — which
+yields the problem-size restriction (1):
+``N ≤ (M/P)^(3/2) / √2``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.comm import Comm
+from repro.cluster.spmd import run_spmd
+from repro.cluster.stats import combined
+from repro.columnsort.validation import validate_basic
+from repro.disks.iostats import IoStats
+from repro.disks.matrixfile import ColumnStore, PdmStore
+from repro.errors import ConfigError
+from repro.oocs.base import (
+    OocJob,
+    OocResult,
+    PassMarker,
+    new_pass_trace,
+    pass_final_windows,
+    pass_step2_deal,
+    pass_step4_deal,
+)
+from repro.simulate.trace import RunTrace
+
+
+def derive_shape(job: OocJob) -> tuple[int, int]:
+    """Resolve and validate the ``r × s`` matrix of a threaded-columnsort
+    job: ``r`` is the buffer, ``s = N/r``; requires ``P | s`` (the pass
+    structure processes ``P`` columns per round) and ``r ≥ 2s²`` — the
+    height restriction whose combination with ``r ≤ M/P`` is exactly the
+    problem-size restriction (1)."""
+    r = job.buffer_records
+    if job.n % r:
+        raise ConfigError(f"buffer r={r} must divide N={job.n}")
+    s = job.n // r
+    p = job.cluster.p
+    if s < p or s % p:
+        raise ConfigError(
+            f"need at least P={p} columns with P | s, got s={s} "
+            f"(N={job.n}, r={r})"
+        )
+    validate_basic(r, s, powers_of_two=True)
+    return r, s
+
+
+def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
+    fmt = job.fmt
+    want_trace = comm.rank == 0 and collect_trace
+    marker = PassMarker(comm, stores["input"].disks)
+
+    t1 = new_pass_trace("pass1:steps1-2", "five") if want_trace else None
+    pass_step2_deal(comm, stores["input"], stores["t1"], fmt, t1)
+    marker.mark()
+
+    t2 = new_pass_trace("pass2:steps3-4", "five") if want_trace else None
+    pass_step4_deal(comm, stores["t1"], stores["t2"], fmt, t2)
+    marker.mark()
+
+    t3 = new_pass_trace("pass3:steps5-8", "seven") if want_trace else None
+    pass_final_windows(comm, stores["t2"], stores["output"], fmt, t3)
+    marker.mark()
+
+    return {
+        "traces": [t for t in (t1, t2, t3) if t is not None],
+        "comm_per_pass": marker.comm_deltas(),
+        "io_per_pass": marker.io_deltas(),
+    }
+
+
+def threaded_columnsort_ooc(
+    job: OocJob,
+    input_store: ColumnStore,
+    collect_trace: bool = True,
+    keep_intermediates: bool = False,
+) -> OocResult:
+    """Run 3-pass threaded columnsort on ``input_store`` (a column-major
+    ``r × s`` matrix store built by
+    :func:`~repro.oocs.base.make_workspace`).
+
+    Returns an :class:`~repro.oocs.base.OocResult` whose ``output`` is a
+    PDM-ordered :class:`~repro.disks.matrixfile.PdmStore` on the same
+    disks. Intermediate stores are deleted unless ``keep_intermediates``
+    (the paper's disk budget was 3× the input size: input + temporary +
+    output, footnote 7).
+    """
+    r, s = derive_shape(job)
+    if (input_store.r, input_store.s) != (r, s):
+        raise ConfigError(
+            f"input store is {input_store.r}×{input_store.s}, job wants {r}×{s}"
+        )
+    cluster, fmt = job.cluster, job.fmt
+    disks = input_store.disks
+    stores = {
+        "input": input_store,
+        "t1": ColumnStore(cluster, fmt, r, s, disks, name="thr-t1"),
+        "t2": ColumnStore(cluster, fmt, r, s, disks, name="thr-t2"),
+        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+    }
+
+    io_before = IoStats.combine([d.stats for d in disks])
+    res = run_spmd(cluster.p, _rank_program, job, stores, collect_trace)
+    io_after = IoStats.combine([d.stats for d in disks])
+
+    rank0 = res.returns[0]
+    run_trace = None
+    if collect_trace:
+        run_trace = RunTrace(
+            algorithm="threaded",
+            n_records=job.n,
+            record_size=fmt.record_size,
+            p=cluster.p,
+            buffer_bytes=job.buffer_bytes,
+            passes=rank0["traces"],
+        )
+    if not keep_intermediates:
+        stores["t1"].delete()
+        stores["t2"].delete()
+
+    return OocResult(
+        algorithm="threaded",
+        job=job,
+        output=stores["output"],
+        passes=3,
+        io={k: io_after[k] - io_before[k] for k in io_after},
+        io_per_pass=rank0["io_per_pass"],
+        comm_per_pass=rank0["comm_per_pass"],
+        comm_total=combined(res.stats),
+        trace=run_trace,
+    )

@@ -1,0 +1,168 @@
+"""Fixed-size record formats.
+
+A record is ``key | uid | padding``:
+
+* ``key`` — the sort key (one of :data:`~repro.records.keys.KEY_DTYPES`);
+* ``uid`` — a 64-bit unsigned "record identity" stamped at generation time
+  with the record's original index. Columnsort never looks at it, but the
+  verification layer uses it to prove that an output is a true permutation
+  of its input (the paper verified output files the same way, by keeping
+  the original data files around — see §5, footnote 7);
+* ``padding`` — opaque filler bringing the record up to ``record_size``
+  bytes (the paper used 64- to 128-byte records).
+
+Records are represented as NumPy structured arrays so that whole-record
+permutations are single vectorized gathers and disk I/O is a straight
+``tobytes``/``frombuffer`` of the underlying buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.records.keys import KeyInfo, key_info
+
+_UID_DTYPE = np.dtype("<u8")
+
+
+@dataclass(frozen=True)
+class RecordFormat:
+    """A fixed-size record layout.
+
+    Parameters
+    ----------
+    key:
+        Key dtype name (``"u8"``, ``"i8"``, ``"f8"``, ``"u4"``, ``"i4"``).
+    record_size:
+        Total record size in bytes. Must be at least key size + 8 (for the
+        uid field). The paper's experiments used 64 and 128.
+
+    >>> fmt = RecordFormat("u8", 64)
+    >>> fmt.dtype.itemsize
+    64
+    """
+
+    key: str = "u8"
+    record_size: int = 64
+    _info: KeyInfo = field(init=False, repr=False, compare=False)
+    _dtype: np.dtype = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        info = key_info(self.key)
+        overhead = info.itemsize + _UID_DTYPE.itemsize
+        if self.record_size < overhead:
+            raise ConfigError(
+                f"record_size={self.record_size} too small for a "
+                f"{self.key} key plus 8-byte uid ({overhead} bytes minimum)"
+            )
+        pad = self.record_size - overhead
+        fields: list[tuple[str, object]] = [
+            ("key", info.dtype),
+            ("uid", _UID_DTYPE),
+        ]
+        if pad:
+            fields.append(("pad", np.dtype(f"V{pad}")))
+        object.__setattr__(self, "_info", info)
+        object.__setattr__(self, "_dtype", np.dtype(fields))
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The structured dtype of one record."""
+        return self._dtype
+
+    @property
+    def key_dtype(self) -> np.dtype:
+        return self._info.dtype
+
+    @property
+    def key_min(self) -> object:
+        """The ``-inf`` sentinel key."""
+        return self._info.min_value
+
+    @property
+    def key_max(self) -> object:
+        """The ``+inf`` sentinel key."""
+        return self._info.max_value
+
+    def nbytes(self, n: int) -> int:
+        """Bytes occupied by ``n`` records."""
+        return n * self.record_size
+
+    def count(self, nbytes: int) -> int:
+        """Number of whole records in ``nbytes`` bytes."""
+        if nbytes % self.record_size:
+            raise ConfigError(
+                f"{nbytes} bytes is not a whole number of "
+                f"{self.record_size}-byte records"
+            )
+        return nbytes // self.record_size
+
+    # -- constructors ----------------------------------------------------
+
+    def empty(self, n: int) -> np.ndarray:
+        """An uninitialized array of ``n`` records."""
+        return np.empty(n, dtype=self._dtype)
+
+    def make(self, keys: np.ndarray, uids: np.ndarray | None = None) -> np.ndarray:
+        """Build records from an array of keys (and optional uids).
+
+        When ``uids`` is omitted, records are stamped ``0..n-1``.
+        """
+        keys = np.asarray(keys)
+        out = np.zeros(len(keys), dtype=self._dtype)
+        out["key"] = keys.astype(self._info.dtype, copy=False)
+        out["uid"] = (
+            np.arange(len(keys), dtype=_UID_DTYPE)
+            if uids is None
+            else np.asarray(uids, dtype=_UID_DTYPE)
+        )
+        return out
+
+    def pad_low(self, n: int) -> np.ndarray:
+        """``n`` records of ``-inf`` keys (columnsort step-6 top padding)."""
+        out = np.zeros(n, dtype=self._dtype)
+        out["key"] = self.key_min
+        return out
+
+    def pad_high(self, n: int) -> np.ndarray:
+        """``n`` records of ``+inf`` keys (columnsort step-6 bottom padding)."""
+        out = np.zeros(n, dtype=self._dtype)
+        out["key"] = self.key_max
+        return out
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_bytes(self, records: np.ndarray) -> bytes:
+        """Serialize records to their on-disk byte representation."""
+        return np.ascontiguousarray(records, dtype=self._dtype).tobytes()
+
+    def from_bytes(self, data: bytes | bytearray | memoryview) -> np.ndarray:
+        """Deserialize records from their on-disk byte representation."""
+        return np.frombuffer(bytes(data), dtype=self._dtype).copy()
+
+    # -- sorting helpers ---------------------------------------------------
+
+    def argsort(self, records: np.ndarray) -> np.ndarray:
+        """Stable argsort of records by key.
+
+        Stability is load-bearing: the ±∞ padding discipline of columnsort
+        steps 6-8 relies on padding records not crossing equal-keyed data
+        records (see :mod:`repro.records.keys`).
+        """
+        return np.argsort(records["key"], kind="stable")
+
+    def sort(self, records: np.ndarray) -> np.ndarray:
+        """Return records stably sorted by key."""
+        return records[self.argsort(records)]
+
+    def is_sorted(self, records: np.ndarray) -> bool:
+        """Whether records are in nondecreasing key order."""
+        keys = records["key"]
+        if len(keys) < 2:
+            return True
+        return bool(np.all(keys[:-1] <= keys[1:]))

@@ -1,0 +1,176 @@
+"""Workload generators.
+
+Columnsort's I/O and communication patterns are oblivious to key values
+(paper §2), but its *correctness* must hold for every input, and local
+sort times do vary with input shape. The test suite, examples, and
+benchmark harness therefore draw inputs from a family of generators
+covering the usual sorting stress cases.
+
+Every generator stamps record ``uid`` fields with ``0..n-1`` so the
+verification layer can prove outputs are permutations of inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.records.format import RecordFormat
+
+GeneratorFn = Callable[[RecordFormat, int, np.random.Generator], np.ndarray]
+
+WORKLOADS: dict[str, GeneratorFn] = {}
+
+
+def _register(name: str) -> Callable[[GeneratorFn], GeneratorFn]:
+    def deco(fn: GeneratorFn) -> GeneratorFn:
+        WORKLOADS[name] = fn
+        return fn
+
+    return deco
+
+
+def _key_span(fmt: RecordFormat) -> tuple[float, float]:
+    """A comfortable key range for random draws, avoiding dtype extremes
+    only to keep printed examples readable (extremes are still legal)."""
+    if fmt.key_dtype.kind == "f":
+        return -1e9, 1e9
+    info = np.iinfo(fmt.key_dtype)
+    return float(info.min), float(info.max)
+
+
+def _random_keys(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    if fmt.key_dtype.kind == "f":
+        return rng.standard_normal(n) * 1e6
+    info = np.iinfo(fmt.key_dtype)
+    return rng.integers(info.min, info.max, size=n, endpoint=True, dtype=fmt.key_dtype)
+
+
+@_register("uniform")
+def uniform(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Keys drawn uniformly over the full key range."""
+    return fmt.make(_random_keys(fmt, n, rng))
+
+
+@_register("sorted")
+def already_sorted(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Keys already in nondecreasing order (best case for merging sorts)."""
+    keys = np.sort(_random_keys(fmt, n, rng))
+    return fmt.make(keys)
+
+
+@_register("reverse")
+def reverse_sorted(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Keys in nonincreasing order."""
+    keys = np.sort(_random_keys(fmt, n, rng))[::-1].copy()
+    return fmt.make(keys)
+
+
+@_register("nearly-sorted")
+def nearly_sorted(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sorted keys with ~1% of positions perturbed by random swaps."""
+    keys = np.sort(_random_keys(fmt, n, rng))
+    swaps = max(1, n // 100)
+    a = rng.integers(0, n, size=swaps)
+    b = rng.integers(0, n, size=swaps)
+    keys[a], keys[b] = keys[b].copy(), keys[a].copy()
+    return fmt.make(keys)
+
+
+@_register("duplicates")
+def duplicate_heavy(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Only ~16 distinct key values — stresses stability and tie handling."""
+    distinct = _random_keys(fmt, 16, rng)
+    keys = distinct[rng.integers(0, len(distinct), size=n)]
+    return fmt.make(keys)
+
+
+@_register("all-equal")
+def all_equal(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Every key identical — a degenerate tie-only input."""
+    keys = np.broadcast_to(_random_keys(fmt, 1, rng), (n,)).copy()
+    return fmt.make(keys)
+
+
+@_register("gaussian")
+def gaussian(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Keys clustered around the middle of the key range."""
+    lo, hi = _key_span(fmt)
+    mid = (lo + hi) / 2.0
+    spread = (hi - lo) / 64.0
+    vals = rng.standard_normal(n) * spread + mid
+    vals = np.clip(vals, lo, hi)
+    return fmt.make(vals.astype(fmt.key_dtype))
+
+
+@_register("zipf")
+def zipf(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Zipf-distributed keys — a heavily skewed value histogram, the shape
+    that breaks naive distribution sorts (relevant to the §6 future-work
+    distribution-based sort stage)."""
+    ranks = rng.zipf(1.3, size=n).astype(np.float64)
+    lo, hi = _key_span(fmt)
+    vals = np.minimum(ranks, 1e6) / 1e6 * (hi - lo) / 2 + lo
+    return fmt.make(vals.astype(fmt.key_dtype))
+
+
+@_register("sawtooth")
+def sawtooth(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Repeating ascending runs — adversarial for run-detecting merges."""
+    period = max(2, n // 64)
+    base = np.arange(n, dtype=np.int64) % period
+    lo, hi = _key_span(fmt)
+    # Stay well inside the dtype range: casting a float equal to the
+    # integer maximum overflows (floats round up at 2^64).
+    scale = (hi - lo) / 4 / max(period - 1, 1)
+    vals = base * scale + lo / 4
+    return fmt.make(vals.astype(fmt.key_dtype))
+
+
+@_register("organ-pipe")
+def organ_pipe(fmt: RecordFormat, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Ascending then descending — every element far from its final home."""
+    half = n // 2
+    up = np.arange(half, dtype=np.int64)
+    down = np.arange(n - half, dtype=np.int64)[::-1]
+    base = np.concatenate([up, down])
+    lo, hi = _key_span(fmt)
+    scale = (hi - lo) / 4 / max(n, 1)
+    vals = base * scale + lo / 4
+    return fmt.make(vals.astype(fmt.key_dtype))
+
+
+def workload_names() -> list[str]:
+    """Names of all registered workload generators."""
+    return sorted(WORKLOADS)
+
+
+def generate(
+    workload: str,
+    fmt: RecordFormat,
+    n: int,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Generate ``n`` records of the named workload.
+
+    >>> fmt = RecordFormat("u8", 64)
+    >>> recs = generate("uniform", fmt, 100, seed=1)
+    >>> len(recs), recs.dtype.itemsize
+    (100, 64)
+    """
+    try:
+        fn = WORKLOADS[workload]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {workload!r}; expected one of {workload_names()}"
+        ) from None
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    if n < 0:
+        raise ConfigError(f"cannot generate {n} records")
+    return fn(fmt, n, rng)

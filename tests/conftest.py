@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Functional out-of-core tests run at laptop scale (a few thousand
+records) but exercise every code path of the full programs; the shapes
+here are chosen so the interesting regimes all occur: multiple rounds
+per pass, both ``√s ≥ P`` and ``√s < P`` for the subblock pass, and
+matrices at the exact edge of each height restriction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.records.format import RecordFormat
+
+
+@pytest.fixture
+def fmt() -> RecordFormat:
+    """The workhorse: 64-byte records with u8 keys (the paper's
+    smaller record size)."""
+    return RecordFormat("u8", 64)
+
+
+@pytest.fixture
+def small_fmt() -> RecordFormat:
+    """Compact records to keep heavy tests fast."""
+    return RecordFormat("u8", 16)
+
+
+@pytest.fixture(params=["u8", "i8", "f8"])
+def any_key_fmt(request) -> RecordFormat:
+    """Sweep the key dtypes that matter (unsigned, signed, float)."""
+    return RecordFormat(request.param, 32)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def cluster4() -> ClusterConfig:
+    return ClusterConfig(p=4, mem_per_proc=2**14)
+
+
+def make_cluster(p: int, mem: int = 2**14) -> ClusterConfig:
+    return ClusterConfig(p=p, mem_per_proc=mem)

@@ -1,0 +1,69 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("figure2", "report", "bounds", "crossover", "msgcount",
+                    "coverage", "sort"):
+            args = parser.parse_args([cmd] if cmd != "sort" else ["sort"])
+            assert args.command == cmd
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.algorithm == "threaded"
+        assert args.records == 8192
+        assert args.buffer == 512
+
+
+class TestCommands:
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "M-columnsort" in out and "Baseline I/O" in out
+
+    def test_tables(self, capsys):
+        for cmd, marker in (
+            ("bounds", "subblock"),
+            ("crossover", "32·P^10" if False else "crossover"),
+            ("msgcount", "messages/round"),
+            ("coverage", "eligible sizes"),
+        ):
+            assert main([cmd]) == 0
+            assert marker in capsys.readouterr().out
+
+    def test_sort_threaded(self, capsys, tmp_path):
+        rc = main([
+            "sort", "--records", "2048", "--buffer", "256", "-p", "2",
+            "--workdir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "3 passes" in out
+
+    def test_sort_subblock_below_basic_bound(self, capsys, tmp_path):
+        rc = main([
+            "sort", "--algorithm", "subblock", "--records", "4096",
+            "--buffer", "256", "-p", "4", "--workload", "duplicates",
+            "--workdir", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "4 passes" in capsys.readouterr().out
+
+    def test_sort_m(self, capsys, tmp_path):
+        rc = main([
+            "sort", "--algorithm", "m", "--records", "16384",
+            "--buffer", "256", "-p", "4", "--workdir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 passes" in out and "network" in out

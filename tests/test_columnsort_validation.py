@@ -1,0 +1,103 @@
+"""The height restrictions and their exact boundaries."""
+
+import pytest
+
+from repro.columnsort.validation import (
+    basic_height_ok,
+    max_s_basic,
+    max_s_subblock,
+    subblock_height_ok,
+    validate_basic,
+    validate_subblock,
+)
+from repro.errors import DimensionError
+
+
+class TestBasicRestriction:
+    def test_boundary_exact(self):
+        # r = 2s² is legal; one less is not.
+        assert basic_height_ok(512, 16)
+        assert not basic_height_ok(511, 16)
+
+    def test_validate_accepts_legal(self):
+        validate_basic(512, 16)
+        validate_basic(18, 3)  # non-power-of-2 is fine in core
+
+    def test_validate_rejects_height(self):
+        with pytest.raises(DimensionError, match="height restriction"):
+            validate_basic(256, 16)
+
+    def test_validate_rejects_non_divisor(self):
+        with pytest.raises(DimensionError, match="divide"):
+            validate_basic(513, 16)
+
+    def test_validate_rejects_nonpositive(self):
+        with pytest.raises(DimensionError):
+            validate_basic(0, 1)
+        with pytest.raises(DimensionError):
+            validate_basic(8, -2)
+
+    def test_powers_of_two_flag(self):
+        validate_basic(512, 16, powers_of_two=True)
+        with pytest.raises(DimensionError, match="power-of-2"):
+            validate_basic(18, 3, powers_of_two=True)
+
+
+class TestSubblockRestriction:
+    def test_boundary_exact(self):
+        # r = 4·s^(3/2): s=16 → r=256 exactly legal.
+        assert subblock_height_ok(256, 16)
+        assert not subblock_height_ok(255, 16)
+
+    def test_relaxation_factor(self):
+        """§1: the relaxation is a factor √s/2 — at s=16 basic needs
+        512 but subblock needs only 256."""
+        assert not basic_height_ok(256, 16)
+        assert subblock_height_ok(256, 16)
+
+    def test_validate_accepts_legal(self):
+        validate_subblock(256, 16)
+        validate_subblock(2048, 64)
+
+    def test_validate_rejects_non_power_of_4(self):
+        with pytest.raises(DimensionError, match="power of 4"):
+            validate_subblock(2048, 32)
+
+    def test_validate_rejects_height(self):
+        with pytest.raises(DimensionError, match="relaxed height"):
+            validate_subblock(128, 16)
+
+    def test_validate_rejects_non_power_of_2_r(self):
+        with pytest.raises(DimensionError):
+            validate_subblock(257, 16)
+
+    def test_non_power_of_2_r_allowed_when_relaxed(self):
+        # In-core use permits any r with s | r and the height bound.
+        validate_subblock(48 * 16, 16, powers_of_two=False)
+
+
+class TestMaxS:
+    @pytest.mark.parametrize("a", range(1, 24))
+    def test_max_s_basic_is_maximal(self, a):
+        r = 1 << a
+        s = max_s_basic(r)
+        assert basic_height_ok(r, s)
+        assert not basic_height_ok(r, s * 2)
+
+    @pytest.mark.parametrize("a", range(2, 24))
+    def test_max_s_subblock_is_maximal(self, a):
+        r = 1 << a
+        s = max_s_subblock(r)
+        assert subblock_height_ok(r, s)
+        assert not subblock_height_ok(r, s * 4)  # next power of 4
+
+    def test_subblock_reaches_further(self):
+        """For large r the subblock max column count (and hence max N)
+        beats basic columnsort's."""
+        r = 1 << 20
+        assert max_s_subblock(r) > max_s_basic(r)
+
+    def test_known_values(self):
+        assert max_s_basic(512) == 16
+        assert max_s_subblock(256) == 16
+        assert max_s_subblock(2048) == 64

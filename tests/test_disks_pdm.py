@@ -1,0 +1,88 @@
+"""PDM striped-ordering arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.disks.pdm import (
+    pdm_disk_of,
+    pdm_position,
+    split_range_by_disk,
+    split_range_by_owner,
+)
+from repro.errors import ConfigError
+
+
+class TestPositions:
+    def test_worked_example(self):
+        # B=4, D=2: records 0-3 on disk 0, 4-7 on disk 1, 8-11 on disk 0…
+        assert pdm_position(0, 4, 2) == (0, 0)
+        assert pdm_position(5, 4, 2) == (1, 1)
+        assert pdm_position(10, 4, 2) == (0, 6)
+
+    def test_disk_of(self):
+        assert [pdm_disk_of(g, 2, 3) for g in range(12)] == [
+            0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2,
+        ]
+
+    def test_positions_are_injective(self):
+        seen = set()
+        for g in range(64):
+            pos = pdm_position(g, 4, 4)
+            assert pos not in seen
+            seen.add(pos)
+
+    def test_balance_over_any_window(self):
+        """PDM's point (footnote 6): any window of consecutive records
+        is spread across disks as evenly as possible."""
+        block, d = 4, 4
+        for start in range(0, 40, 7):
+            window = [pdm_disk_of(g, block, d) for g in range(start, start + 32)]
+            counts = np.bincount(window, minlength=d)
+            assert counts.max() - counts.min() <= 0  # 32 = 2 full stripes
+
+
+class TestSplitting:
+    def test_pieces_tile_the_range(self):
+        pieces = list(split_range_by_disk(5, 20, block=4, d=3))
+        assert sum(n for *_, n in pieces) == 20
+        rels = [rel for _, _, rel, _ in pieces]
+        assert rels == sorted(rels)
+        assert rels[0] == 0
+
+    def test_pieces_respect_block_boundaries(self):
+        for disk, offset, rel, n in split_range_by_disk(3, 30, block=8, d=2):
+            assert n <= 8
+            global_start = 3 + rel
+            assert global_start // 8 == (global_start + n - 1) // 8
+
+    def test_split_by_owner_groups(self):
+        groups = split_range_by_owner(0, 32, block=4, d=4, p=2)
+        assert set(groups) == {0, 1}
+        # disks 0,2 → rank 0; disks 1,3 → rank 1
+        for rank, pieces in groups.items():
+            for disk, *_ in pieces:
+                assert disk % 2 == rank
+
+    def test_empty_range(self):
+        assert list(split_range_by_disk(10, 0, 4, 2)) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            list(split_range_by_disk(0, 4, 0, 2))
+        with pytest.raises(ConfigError):
+            list(split_range_by_disk(-1, 4, 4, 2))
+
+    @given(
+        start=st.integers(min_value=0, max_value=500),
+        count=st.integers(min_value=0, max_value=300),
+        block=st.sampled_from([1, 2, 4, 8, 16]),
+        d=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_split_matches_pointwise_positions(self, start, count, block, d):
+        """Every record of every piece lands exactly where pdm_position
+        says it should."""
+        for disk, offset, rel, n in split_range_by_disk(start, count, block, d):
+            for k in range(n):
+                assert pdm_position(start + rel + k, block, d) == (disk, offset + k)

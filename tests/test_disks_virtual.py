@@ -1,0 +1,141 @@
+"""Virtual disks: block I/O, accounting, capacity, fault injection."""
+
+import pytest
+
+from repro.disks.iostats import IoStats
+from repro.disks.virtual_disk import VirtualDisk, make_disk_array
+from repro.errors import DiskError, DiskFullError
+
+
+@pytest.fixture
+def disk(tmp_path):
+    return VirtualDisk(tmp_path / "d0", disk_id=0)
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self, disk):
+        disk.write_at("obj", 0, b"hello world")
+        assert disk.read_at("obj", 0, 11) == b"hello world"
+        assert disk.read_at("obj", 6, 5) == b"world"
+
+    def test_overwrite_at_offset(self, disk):
+        disk.write_at("obj", 0, b"aaaaaa")
+        disk.write_at("obj", 2, b"BB")
+        assert disk.read_at("obj", 0, 6) == b"aaBBaa"
+
+    def test_gap_is_zero_filled(self, disk):
+        disk.write_at("obj", 4, b"xy")
+        assert disk.read_at("obj", 0, 6) == b"\0\0\0\0xy"
+
+    def test_size_tracking(self, disk):
+        assert disk.size("obj") == 0
+        disk.write_at("obj", 0, b"12345")
+        assert disk.size("obj") == 5
+        disk.write_at("obj", 3, b"67890")
+        assert disk.size("obj") == 8
+        assert disk.used_bytes() == 8
+
+    def test_short_read_raises(self, disk):
+        disk.write_at("obj", 0, b"123")
+        with pytest.raises(DiskError, match="short read"):
+            disk.read_at("obj", 0, 4)
+
+    def test_missing_object_raises(self, disk):
+        with pytest.raises(DiskError, match="no object"):
+            disk.read_at("ghost", 0, 1)
+
+    def test_delete(self, disk):
+        disk.write_at("obj", 0, b"x")
+        disk.delete("obj")
+        assert disk.files() == []
+        disk.delete("obj")  # idempotent
+
+    def test_invalid_names(self, disk):
+        with pytest.raises(DiskError):
+            disk.write_at("a/b", 0, b"")
+        with pytest.raises(DiskError):
+            disk.read_at(".hidden", 0, 0)
+
+    def test_negative_ranges(self, disk):
+        with pytest.raises(DiskError):
+            disk.write_at("obj", -1, b"x")
+        with pytest.raises(DiskError):
+            disk.read_at("obj", 0, -2)
+
+    def test_persistence_across_instances(self, tmp_path):
+        d1 = VirtualDisk(tmp_path / "d", disk_id=0)
+        d1.write_at("obj", 0, b"persist")
+        d2 = VirtualDisk(tmp_path / "d", disk_id=0)
+        assert d2.size("obj") == 7
+        assert d2.read_at("obj", 0, 7) == b"persist"
+
+
+class TestAccounting:
+    def test_bytes_and_ops_counted(self, disk):
+        disk.write_at("obj", 0, b"abcd")
+        disk.write_at("obj", 4, b"ef")
+        disk.read_at("obj", 0, 6)
+        snap = disk.stats.snapshot()
+        assert snap == {
+            "reads": 1, "writes": 2, "bytes_read": 6, "bytes_written": 6,
+        }
+
+    def test_combine(self, tmp_path):
+        disks = make_disk_array(tmp_path, 3)
+        for d in disks:
+            d.write_at("x", 0, b"ab")
+        total = IoStats.combine([d.stats for d in disks])
+        assert total["writes"] == 3 and total["bytes_written"] == 6
+
+    def test_reset(self, disk):
+        disk.write_at("obj", 0, b"x")
+        disk.stats.reset()
+        assert disk.stats.snapshot()["writes"] == 0
+
+
+class TestCapacityAndFaults:
+    def test_capacity_enforced(self, tmp_path):
+        d = VirtualDisk(tmp_path / "d", capacity_bytes=10)
+        d.write_at("a", 0, b"12345")
+        with pytest.raises(DiskFullError):
+            d.write_at("b", 0, b"1234567")
+        # In-place overwrite does not grow usage.
+        d.write_at("a", 0, b"54321")
+
+    def test_capacity_frees_on_delete(self, tmp_path):
+        d = VirtualDisk(tmp_path / "d", capacity_bytes=10)
+        d.write_at("a", 0, b"1234567890")
+        d.delete("a")
+        d.write_at("b", 0, b"abcdefghij")
+
+    def test_read_only(self, disk):
+        disk.write_at("obj", 0, b"x")
+        disk.read_only = True
+        with pytest.raises(DiskError, match="read-only"):
+            disk.write_at("obj", 0, b"y")
+        with pytest.raises(DiskError, match="read-only"):
+            disk.delete("obj")
+        assert disk.read_at("obj", 0, 1) == b"x"
+
+    def test_fault_injection_one_shot(self, disk):
+        disk.write_at("obj", 0, b"abc")
+        disk.inject_fault("read")
+        with pytest.raises(DiskError, match="injected read fault"):
+            disk.read_at("obj", 0, 1)
+        assert disk.read_at("obj", 0, 1) == b"a"  # fault consumed
+
+    def test_fault_kind_filter(self, disk):
+        disk.write_at("obj", 0, b"abc")
+        disk.inject_fault("write")
+        assert disk.read_at("obj", 0, 3) == b"abc"  # reads unaffected
+        with pytest.raises(DiskError, match="injected write fault"):
+            disk.write_at("obj", 0, b"x")
+
+    def test_fault_any(self, disk):
+        disk.inject_fault("any")
+        with pytest.raises(DiskError, match="injected"):
+            disk.write_at("obj", 0, b"x")
+
+    def test_unknown_fault_kind(self, disk):
+        with pytest.raises(DiskError):
+            disk.inject_fault("explode")

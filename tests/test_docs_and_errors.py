@@ -1,0 +1,105 @@
+"""Documentation executability (doctests, examples) and the error
+hierarchy contract."""
+
+import doctest
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.bounds.analysis
+import repro.bounds.restrictions
+import repro.cluster.config
+import repro.columnsort.validation
+import repro.disks.pdm
+import repro.matrix.bits
+import repro.oocs.api
+import repro.records.format
+import repro.records.generators
+import repro.records.keys
+from repro.errors import (
+    CommError,
+    ConfigError,
+    DimensionError,
+    DiskError,
+    DiskFullError,
+    ProblemSizeError,
+    ReproError,
+    SpmdError,
+    VerificationError,
+)
+
+DOCTEST_MODULES = [
+    repro.matrix.bits,
+    repro.records.keys,
+    repro.records.format,
+    repro.records.generators,
+    repro.columnsort.validation,
+    repro.cluster.config,
+    repro.disks.pdm,
+    repro.bounds.restrictions,
+    repro.bounds.analysis,
+    repro.oocs.api,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    """Every usage example in the docstrings actually runs."""
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda path: path.name,
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda s: s.stem)
+def test_examples_run_clean(script, capsys, monkeypatch):
+    """Every example script executes end to end (they are all
+    laptop-scale by construction)."""
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in out
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc in (
+            ConfigError, DimensionError, ProblemSizeError, CommError,
+            DiskError, DiskFullError, VerificationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_stdlib_compatibility(self):
+        """Callers can catch with the natural stdlib classes too."""
+        assert issubclass(DimensionError, ValueError)
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(DiskError, IOError)
+        assert issubclass(CommError, RuntimeError)
+        assert issubclass(VerificationError, AssertionError)
+
+    def test_problem_size_error_payload(self):
+        err = ProblemSizeError(n=100, bound=50, algorithm="threaded")
+        assert err.n == 100 and err.bound == 50
+        assert "threaded" in str(err)
+        assert isinstance(err, ConfigError)
+
+    def test_spmd_error_payload(self):
+        cause = ValueError("inner")
+        err = SpmdError(3, cause)
+        assert err.rank == 3 and err.cause is cause
+        assert "rank 3" in str(err)
+
+    def test_one_except_catches_all(self):
+        from repro.cluster.config import ClusterConfig
+
+        with pytest.raises(ReproError):
+            ClusterConfig(p=3)

@@ -1,0 +1,83 @@
+"""T-breakdown and the newer CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.breakdown import breakdown_table, io_boundedness
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return breakdown_table()
+
+    def test_pass_counts(self, rows):
+        by_alg = {}
+        for row in rows:
+            by_alg.setdefault(row["algorithm"], []).append(row)
+        assert len(by_alg["threaded"]) == 3
+        assert len(by_alg["subblock"]) == 4
+        assert len(by_alg["m"]) == 3
+
+    def test_threaded_is_io_bound_everywhere(self, rows):
+        """§5: 'threaded columnsort is almost purely I/O-bound'."""
+        for row in rows:
+            if row["algorithm"] in ("threaded", "subblock"):
+                assert row["bottleneck"] == "io"
+                assert row["io util %"] > 95
+
+    def test_m_less_io_bound(self, rows):
+        """§5: 'M-columnsort is not nearly as I/O-bound'."""
+        util = io_boundedness(rows)
+        assert util["m"] < util["threaded"] - 5
+        assert util["subblock"] > 95
+
+    def test_m_has_non_io_bottleneck_somewhere(self, rows):
+        m_rows = [r for r in rows if r["algorithm"] == "m"]
+        assert any(r["bottleneck"] != "io" or r["io util %"] < 90 for r in m_rows)
+
+    def test_stage_counts_match_paper(self, rows):
+        stages = {
+            (r["algorithm"], r["pass"]): r["stages"] for r in rows
+        }
+        assert stages[("threaded", "pass1:steps1-2")] == 5
+        assert stages[("threaded", "pass3:steps5-8")] == 7
+        assert stages[("m", "pass1:steps1-2")] == 11
+        assert stages[("m", "pass3:steps5-8")] == 20
+
+    def test_ineligible_algorithms_skipped(self):
+        rows = breakdown_table(gb_total=32, p=16, buffer_bytes=2**25)
+        algs = {r["algorithm"] for r in rows}
+        assert "threaded" not in algs  # restriction (1) bites at 32 GB
+        assert "m" in algs
+
+
+class TestNewCliCommands:
+    def test_predict(self, capsys):
+        assert main(["predict", "--algorithm", "m", "--gb", "8", "-p", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "s per (GB/processor)" in out
+
+    def test_predict_infeasible(self, capsys):
+        rc = main(["predict", "--algorithm", "threaded", "--gb", "32", "-p", "16"])
+        assert rc == 1
+        assert "not runnable" in capsys.readouterr().out
+
+    def test_predict_modern_hardware(self, capsys):
+        assert main(["predict", "--hardware", "modern-nvme"]) == 0
+        assert "modern-nvme" in capsys.readouterr().out
+
+    def test_sort_with_group_size(self, capsys, tmp_path):
+        rc = main([
+            "sort", "--records", "8192", "--buffer", "512", "-p", "4",
+            "-g", "2", "--workdir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "g-columnsort(g=2)" in out and "verified" in out
+
+    def test_report_includes_breakdown(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "T-breakdown" in out
+        assert "I/O-boundedness" in out

@@ -1,0 +1,170 @@
+"""The columnsort permutations: matrix ops vs index maps, inverses, and
+the paper's worked example."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.matrix.permutations import (
+    apply_index_map,
+    column_major_rank,
+    shift_down,
+    shift_down_target,
+    shift_up,
+    step2,
+    step2_target,
+    step4,
+    step4_target,
+    subblock,
+    subblock_target,
+    subblock_target_bitwise,
+)
+
+SHAPES = [(8, 2), (8, 4), (32, 4), (64, 8), (128, 16), (36, 6)]
+SUBBLOCK_SHAPES = [(16, 4), (32, 4), (64, 16), (256, 16), (128, 4)]
+
+
+def grid(r, s):
+    return np.arange(r * s).reshape(r, s)
+
+
+class TestStep2:
+    def test_paper_example_6x3(self):
+        """§2's example: the 6-entry column a..f becomes the 2×3 block
+        [[a b c], [d e f]]."""
+        m = np.empty((6, 3), dtype=object)
+        m[:, 0] = list("abcdef")
+        m[:, 1] = list("ghijkl")
+        m[:, 2] = list("mnopqr")
+        out = step2(m)
+        assert list(out[0]) == ["a", "b", "c"]
+        assert list(out[1]) == ["d", "e", "f"]
+        assert list(out[2]) == ["g", "h", "i"]
+
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_matches_index_map(self, r, s):
+        m = grid(r, s)
+        assert np.array_equal(step2(m), apply_index_map(m, step2_target))
+
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_step4_is_inverse(self, r, s):
+        m = grid(r, s)
+        assert np.array_equal(step4(step2(m)), m)
+        assert np.array_equal(step2(step4(m)), m)
+
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_target_column_is_i_mod_s(self, r, s):
+        ii, jj = np.meshgrid(np.arange(r), np.arange(s), indexing="ij")
+        _, tj = step2_target(ii, jj, r, s)
+        assert np.array_equal(tj, ii % s)
+
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_source_column_lands_in_band(self, r, s):
+        """Column j maps to rows [j·r/s, (j+1)·r/s) — the band structure
+        the out-of-core write stage relies on."""
+        band = r // s
+        for j in range(s):
+            ti, _ = step2_target(np.arange(r), j, r, s)
+            assert ti.min() == j * band and ti.max() == (j + 1) * band - 1
+
+    def test_rejects_non_dividing_s(self):
+        with pytest.raises(DimensionError):
+            step2(np.zeros((10, 3)))
+        with pytest.raises(DimensionError):
+            step2_target(0, 0, 10, 3)
+
+
+class TestStep4:
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_matches_index_map(self, r, s):
+        m = grid(r, s)
+        assert np.array_equal(step4(m), apply_index_map(m, step4_target))
+
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_maps_are_mutual_inverses(self, r, s):
+        ii, jj = np.meshgrid(np.arange(r), np.arange(s), indexing="ij")
+        ti, tj = step2_target(ii, jj, r, s)
+        bi, bj = step4_target(ti, tj, r, s)
+        assert np.array_equal(bi, ii) and np.array_equal(bj, jj)
+
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_chunks_go_to_consecutive_columns(self, r, s):
+        chunk = r // s
+        for m_idx in range(s):
+            rows = np.arange(m_idx * chunk, (m_idx + 1) * chunk)
+            _, tj = step4_target(rows, 0, r, s)
+            assert np.all(tj == m_idx)
+
+
+class TestShifts:
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_shift_down_shape_and_padding(self, r, s):
+        m = grid(r, s)
+        half = r // 2
+        lo = np.full(half, -1)
+        hi = np.full(half, 10**9)
+        out = shift_down(m, lo, hi)
+        assert out.shape == (r, s + 1)
+        assert np.all(out[:half, 0] == -1)
+        assert np.all(out[half:, s] == 10**9)
+
+    @pytest.mark.parametrize("r,s", SHAPES)
+    def test_shift_up_inverts_shift_down(self, r, s):
+        m = grid(r, s)
+        half = r // 2
+        out = shift_up(shift_down(m, np.full(half, -1), np.full(half, -2)))
+        assert np.array_equal(out, m)
+
+    @pytest.mark.parametrize("r,s", [(8, 2), (32, 4)])
+    def test_shift_down_target_advances_rank_by_half(self, r, s):
+        half = r // 2
+        for i, j in [(0, 0), (r - 1, s - 1), (half, 1 % s)]:
+            ti, tj = shift_down_target(i, j, r, s)
+            assert column_major_rank(ti, tj, r) == column_major_rank(i, j, r) + half
+
+    def test_odd_r_rejected(self):
+        with pytest.raises(DimensionError):
+            shift_down(np.zeros((3, 3)), np.zeros(1), np.zeros(1))
+        with pytest.raises(DimensionError):
+            shift_down_target(0, 0, 3, 3)
+
+    def test_wrong_padding_length_rejected(self):
+        with pytest.raises(DimensionError):
+            shift_down(np.zeros((4, 2)), np.zeros(3), np.zeros(2))
+
+
+class TestSubblockPermutation:
+    @pytest.mark.parametrize("r,s", SUBBLOCK_SHAPES)
+    def test_matrix_op_matches_arithmetic_map(self, r, s):
+        m = grid(r, s)
+        assert np.array_equal(subblock(m), apply_index_map(m, subblock_target))
+
+    @pytest.mark.parametrize("r,s", SUBBLOCK_SHAPES)
+    def test_figure1_bitwise_equals_arithmetic(self, r, s):
+        """The Figure 1 bit permutation and the §3 arithmetic formula
+        are the same map — checked exhaustively."""
+        ii, jj = np.meshgrid(np.arange(r), np.arange(s), indexing="ij")
+        ai, aj = subblock_target(ii, jj, r, s)
+        bi, bj = subblock_target_bitwise(ii, jj, r, s)
+        assert np.array_equal(ai, bi)
+        assert np.array_equal(aj, bj)
+
+    @pytest.mark.parametrize("r,s", SUBBLOCK_SHAPES)
+    def test_is_a_permutation(self, r, s):
+        ii, jj = np.meshgrid(np.arange(r), np.arange(s), indexing="ij")
+        ti, tj = subblock_target(ii, jj, r, s)
+        ranks = np.sort((tj * r + ti).ravel())
+        assert np.array_equal(ranks, np.arange(r * s))
+
+    def test_worked_entry(self):
+        """Hand-computed: r=16, s=16 (√s=4): (i=6, j=9) → i' = ⌊9/4⌋·4 +
+        ⌊6/4⌋ = 9, j' = 9 mod 4 + (6 mod 4)·4 = 1 + 8 = 9."""
+        assert subblock_target(6, 9, 16, 16) == (9, 9)
+
+    def test_rejects_non_power_of_4_s(self):
+        with pytest.raises(DimensionError):
+            subblock(np.zeros((16, 8)))
+
+    def test_rejects_sqrt_s_not_dividing_r(self):
+        with pytest.raises(DimensionError):
+            subblock_target_bitwise(0, 0, 6, 4)

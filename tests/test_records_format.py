@@ -1,0 +1,117 @@
+"""RecordFormat: layout, constructors, serialization, sorting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.records.format import RecordFormat
+
+
+class TestLayout:
+    def test_itemsize_matches_record_size(self):
+        for size in (16, 32, 64, 128):
+            assert RecordFormat("u8", size).dtype.itemsize == size
+
+    def test_minimum_record_size_is_key_plus_uid(self):
+        assert RecordFormat("u8", 16).dtype.itemsize == 16
+        with pytest.raises(ConfigError):
+            RecordFormat("u8", 15)
+
+    def test_u4_key_allows_smaller_records(self):
+        fmt = RecordFormat("u4", 12)
+        assert fmt.dtype.itemsize == 12
+        assert fmt.key_dtype == np.dtype("<u4")
+
+    def test_fields_present(self):
+        fmt = RecordFormat("i8", 64)
+        assert set(fmt.dtype.names) == {"key", "uid", "pad"}
+
+    def test_no_pad_field_when_exact(self):
+        fmt = RecordFormat("u8", 16)
+        assert set(fmt.dtype.names) == {"key", "uid"}
+
+    def test_unknown_key_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            RecordFormat("u16", 64)
+
+    def test_nbytes_and_count_roundtrip(self):
+        fmt = RecordFormat("u8", 64)
+        assert fmt.nbytes(10) == 640
+        assert fmt.count(640) == 10
+        with pytest.raises(ConfigError):
+            fmt.count(641)
+
+
+class TestConstructors:
+    def test_make_stamps_sequential_uids(self):
+        fmt = RecordFormat("u8", 32)
+        recs = fmt.make(np.array([5, 3, 9], dtype=np.uint64))
+        assert list(recs["uid"]) == [0, 1, 2]
+        assert list(recs["key"]) == [5, 3, 9]
+
+    def test_make_with_explicit_uids(self):
+        fmt = RecordFormat("u8", 32)
+        recs = fmt.make(np.array([1, 2]), uids=np.array([7, 8]))
+        assert list(recs["uid"]) == [7, 8]
+
+    def test_empty(self):
+        fmt = RecordFormat("u8", 64)
+        assert len(fmt.empty(5)) == 5
+        assert fmt.empty(0).dtype == fmt.dtype
+
+    def test_pads_have_extreme_keys(self):
+        fmt = RecordFormat("u8", 32)
+        assert np.all(fmt.pad_low(4)["key"] == 0)
+        assert np.all(fmt.pad_high(4)["key"] == np.iinfo(np.uint64).max)
+
+    def test_float_pads_are_infinite(self):
+        fmt = RecordFormat("f8", 32)
+        assert np.all(np.isneginf(fmt.pad_low(3)["key"]))
+        assert np.all(np.isposinf(fmt.pad_high(3)["key"]))
+
+    def test_signed_pads(self):
+        fmt = RecordFormat("i8", 32)
+        info = np.iinfo(np.int64)
+        assert np.all(fmt.pad_low(2)["key"] == info.min)
+        assert np.all(fmt.pad_high(2)["key"] == info.max)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        fmt = RecordFormat("u8", 64)
+        recs = fmt.make(np.arange(100, dtype=np.uint64))
+        back = fmt.from_bytes(fmt.to_bytes(recs))
+        assert np.array_equal(back, recs)
+
+    def test_byte_length_exact(self):
+        fmt = RecordFormat("u8", 64)
+        assert len(fmt.to_bytes(fmt.empty(7))) == 7 * 64
+
+    def test_from_bytes_returns_writable_copy(self):
+        fmt = RecordFormat("u8", 32)
+        recs = fmt.from_bytes(fmt.to_bytes(fmt.make(np.array([1, 2]))))
+        recs["key"][0] = 99  # must not raise (frombuffer alone is read-only)
+        assert recs["key"][0] == 99
+
+
+class TestSorting:
+    def test_sort_is_by_key(self):
+        fmt = RecordFormat("u8", 32)
+        recs = fmt.make(np.array([3, 1, 2], dtype=np.uint64))
+        out = fmt.sort(recs)
+        assert list(out["key"]) == [1, 2, 3]
+        assert list(out["uid"]) == [1, 2, 0]
+
+    def test_sort_is_stable(self):
+        fmt = RecordFormat("u8", 32)
+        keys = np.array([1, 0, 1, 0, 1], dtype=np.uint64)
+        out = fmt.sort(fmt.make(keys))
+        # Equal keys keep their original relative order (by uid).
+        assert list(out["uid"]) == [1, 3, 0, 2, 4]
+
+    def test_is_sorted(self):
+        fmt = RecordFormat("u8", 32)
+        assert fmt.is_sorted(fmt.make(np.array([1, 1, 2])))
+        assert not fmt.is_sorted(fmt.make(np.array([2, 1])))
+        assert fmt.is_sorted(fmt.empty(0))
+        assert fmt.is_sorted(fmt.make(np.array([5])))

@@ -1,0 +1,97 @@
+"""Pipeline shape definitions and trace bookkeeping."""
+
+import pytest
+
+from repro.simulate.trace import (
+    PassTrace,
+    RoundWork,
+    StageSpec,
+    eleven_stage_pipeline,
+    five_stage_pipeline,
+    io_only_pipeline,
+    seven_stage_pipeline,
+    twenty_stage_pipeline,
+)
+
+
+class TestPipelineShapes:
+    def test_five_stage_is_the_paper_pipeline(self):
+        stages = five_stage_pipeline()
+        assert [s.name for s in stages] == [
+            "read", "sort", "communicate", "permute", "write",
+        ]
+        # Read and write share the I/O thread (paper §2: four threads).
+        assert stages[0].thread == stages[-1].thread == "io"
+        assert len({s.thread for s in stages}) == 4
+
+    def test_seven_stage_has_two_sorts_two_comms(self):
+        stages = seven_stage_pipeline()
+        kinds = [s.kind for s in stages]
+        assert kinds.count("sort") == 2
+        assert kinds.count("comm") == 2
+
+    def test_eleven_stage_thread_budget(self):
+        """Paper §4: 11 stages on four threads."""
+        stages = eleven_stage_pipeline()
+        assert len(stages) == 11
+        assert len({s.thread for s in stages}) == 4
+
+    def test_twenty_stage_thread_budget(self):
+        """Paper §4: 20 stages on seven threads."""
+        stages = twenty_stage_pipeline()
+        assert len(stages) == 20
+        assert len({s.thread for s in stages}) == 7
+
+    def test_io_only(self):
+        stages = io_only_pipeline()
+        assert [s.kind for s in stages] == ["read", "write"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec("x", "teleport", "io")
+
+
+class TestPassTrace:
+    def test_totals_by_kind(self):
+        trace = PassTrace(
+            "t",
+            five_stage_pipeline(),
+            [RoundWork(work={"read": 10, "write": 20, "sort": 5})] * 3,
+        )
+        assert trace.total("read") == 30
+        assert trace.total("write") == 60
+        assert trace.total("sort") == 15
+        assert trace.total("comm") == 0
+
+    def test_threads_preserve_order(self):
+        trace = PassTrace("t", seven_stage_pipeline())
+        assert trace.threads()[0] == "io"
+        assert len(trace.threads()) == len(set(trace.threads()))
+
+
+class TestPdmBalanceVerifier:
+    def test_balanced_store_passes(self, tmp_path):
+        from repro.cluster.config import ClusterConfig
+        from repro.disks.matrixfile import PdmStore
+        from repro.disks.virtual_disk import make_disk_array
+        from repro.oocs.verify import verify_pdm_balance
+        from repro.records.format import RecordFormat
+
+        cfg = ClusterConfig(p=4, mem_per_proc=2**10)
+        store = PdmStore(
+            cfg, RecordFormat("u8", 32), 512, make_disk_array(tmp_path, 4), 16
+        )
+        verify_pdm_balance(store)  # structural property of the layout
+
+    def test_tiny_store_is_vacuous(self, tmp_path):
+        from repro.cluster.config import ClusterConfig
+        from repro.disks.matrixfile import PdmStore
+        from repro.disks.virtual_disk import make_disk_array
+        from repro.oocs.verify import verify_pdm_balance
+        from repro.records.format import RecordFormat
+
+        cfg = ClusterConfig(p=4, mem_per_proc=2**10)
+        store = PdmStore(
+            cfg, RecordFormat("u8", 32), 8, make_disk_array(tmp_path, 4), 16
+        )
+        verify_pdm_balance(store)

@@ -1,0 +1,117 @@
+"""The 0-1 principle checker: exhaustive correctness and the empirical
+height boundary."""
+
+import numpy as np
+import pytest
+
+from repro.columnsort.basic import columnsort
+from repro.columnsort.subblock import subblock_columnsort
+from repro.columnsort.zero_one import (
+    batch_from_counts,
+    count_vectors,
+    empirical_min_height,
+    exhaustive_check,
+    run_batch,
+    sorted_mask,
+)
+from repro.errors import ConfigError, DimensionError
+from repro.matrix.layout import to_columns
+
+
+class TestMachinery:
+    def test_count_vectors_enumerate_all(self):
+        got = np.concatenate(list(count_vectors(2, 3, chunk=5)))
+        assert got.shape == (27, 3)
+        assert len({tuple(row) for row in got}) == 27
+        assert got.min() == 0 and got.max() == 2
+
+    def test_batch_from_counts(self):
+        counts = np.array([[0, 2], [1, 0]])
+        batch = batch_from_counts(counts, 2)
+        assert batch.shape == (2, 2, 2)
+        assert batch[0].tolist() == [[1, 0], [1, 0]]  # 0 zeros | 2 zeros
+        assert batch[1].tolist() == [[0, 1], [1, 1]]
+
+    def test_sorted_mask(self):
+        batch = np.array(
+            [[[0, 1], [0, 1]], [[1, 0], [1, 1]]], dtype=np.int8
+        )
+        assert sorted_mask(batch).tolist() == [True, False]
+
+    @pytest.mark.parametrize("variant,fn", [
+        ("basic", columnsort), ("subblock", subblock_columnsort),
+    ])
+    def test_run_batch_matches_reference_implementation(self, variant, fn, rng):
+        """The vectorized batch runner and the record-level algorithms
+        are the same computation."""
+        r, s = (32, 4)
+        counts = rng.integers(0, r + 1, size=(40, s))
+        batch = batch_from_counts(counts, r)
+        out = run_batch(batch.copy(), variant)
+        for b in range(len(batch)):
+            flat = batch[b].flatten(order="F").astype(np.int64)
+            ref = fn(to_columns(flat, r, s), check=False)
+            assert np.array_equal(out[b].astype(np.int64), ref), b
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            exhaustive_check(9, 3)  # odd r
+        with pytest.raises(DimensionError):
+            exhaustive_check(10, 3)  # s ∤ r... (10 % 3 != 0)
+        with pytest.raises(DimensionError):
+            exhaustive_check(16, 8, "subblock")  # s not a power of 4
+        with pytest.raises(ConfigError):
+            run_batch(np.zeros((1, 4, 2), dtype=np.int8), "bogo")
+
+
+class TestExhaustiveCorrectness:
+    def test_basic_verified_at_its_bound(self):
+        """All 33^4 ≈ 1.19M distinct inputs sort at r = 2s² (s=4) —
+        proof-strength verification via the 0-1 principle."""
+        assert exhaustive_check(32, 4, "basic") is None
+
+    def test_subblock_verified_below_basic_bound(self):
+        """Subblock columnsort exhaustively verified at r = 16 < 2s² —
+        where basic columnsort provably fails (next test)."""
+        assert exhaustive_check(16, 4, "subblock") is None
+
+    def test_basic_counterexample_below_boundary(self):
+        """A concrete all-inputs refutation: at r = 16, s = 4 some 0-1
+        input defeats 8-step columnsort — the height restriction is
+        load-bearing."""
+        counterexample = exhaustive_check(16, 4, "basic")
+        assert counterexample is not None
+        # Replay it through the reference implementation.
+        batch = batch_from_counts(counterexample.reshape(1, -1), 16)
+        assert not sorted_mask(run_batch(batch, "basic"))[0]
+
+    def test_counterexample_replays_on_record_sort(self):
+        counterexample = exhaustive_check(16, 4, "basic")
+        flat = (
+            batch_from_counts(counterexample.reshape(1, -1), 16)[0]
+            .flatten(order="F")
+            .astype(np.int64)
+        )
+        from repro.matrix.layout import is_sorted_column_major
+
+        out = columnsort(to_columns(flat, 16, 4), check=False)
+        assert not is_sorted_column_major(out)
+
+
+class TestEmpiricalBoundary:
+    def test_s2(self):
+        # Leighton exact: 2(s−1)² = 2; the paper's simplified bound: 8.
+        assert empirical_min_height(2, "basic") == 2
+
+    def test_s4_basic(self):
+        """Empirical minimum 20 — the smallest legal height ≥ Leighton's
+        exact 2(s−1)² = 18, well under the paper's simplified 2s² = 32."""
+        assert empirical_min_height(4, "basic") == 20
+
+    def test_s4_subblock(self):
+        """Empirical minimum 12 — under basic's 20 (the relaxation is
+        real) and far under the sufficient bound 4·s^(3/2) = 32."""
+        assert empirical_min_height(4, "subblock") == 12
+
+    def test_boundary_ordering(self):
+        assert empirical_min_height(4, "subblock") < empirical_min_height(4, "basic")
