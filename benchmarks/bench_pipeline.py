@@ -1,0 +1,106 @@
+"""Pipelined-pass benchmarks: synchronous vs overlapped I/O.
+
+Times the same multi-pass workload with the pass pipeline disabled
+(depth 0) and enabled (the harness's ``--pipeline-depth``, default 2),
+prints the per-pass measured stage breakdown for both, and asserts the
+overlapped run is no slower than the synchronous one beyond noise.
+On hardware with real disk latency the read-wait/write-wait columns
+are where the depth shows up; on a page-cached laptop the two are
+expected to be close.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments.breakdown import measured_breakdown_table
+from repro.oocs.api import sort_out_of_core
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+from repro.simulate.predict import measured_overlap
+
+FMT = RecordFormat("u8", 64)
+
+# (P, buffer_records, N): threaded = 3 passes, subblock = 4 passes.
+WORKLOADS = {
+    "threaded": (4, 2048, 2048 * 32),
+    "subblock": (4, 2048, 2048 * 64),
+}
+
+#: Allowed slowdown of the pipelined run relative to synchronous —
+#: covers thread start/stop overhead plus timer noise at laptop scale.
+NOISE_FACTOR = 1.25
+
+
+def _timed_run(algorithm, recs, cluster, buf, depth, workdir):
+    t0 = time.perf_counter()
+    result = sort_out_of_core(
+        algorithm, recs, cluster, FMT, buffer_records=buf,
+        workdir=workdir, verify=False, pipeline_depth=depth,
+    )
+    return time.perf_counter() - t0, result
+
+
+def _breakdown_lines(result):
+    lines = []
+    for row in measured_breakdown_table(result):
+        stages = "  ".join(
+            f"{cat}={row[f'{cat} (s)'] * 1000:6.1f}ms"
+            for cat in ("read_wait", "compute", "comm", "incore", "write_wait")
+        )
+        lines.append(f"{row['pass']:<28} depth={row['depth']}  {stages}")
+    return lines
+
+
+@pytest.mark.parametrize("algorithm", sorted(WORKLOADS))
+def test_pipeline_depth_not_slower(
+    benchmark, algorithm, pipeline_depth, tmp_path_factory, show
+):
+    """Acceptance: at depth ≥ 2 a multi-pass workload is no slower than
+    the synchronous pass loop, and the per-stage breakdown is recorded
+    for both runs."""
+    if pipeline_depth < 1:
+        pytest.skip("--pipeline-depth 0 benchmarks nothing against itself")
+    p, buf, n = WORKLOADS[algorithm]
+    cluster = ClusterConfig(p=p, mem_per_proc=buf)
+    recs = generate("uniform", FMT, n, seed=3)
+    counter = iter(range(10**6))
+
+    def compare():
+        best = {0: float("inf"), pipeline_depth: float("inf")}
+        results = {}
+        for _ in range(3):  # best-of-3 per depth to tame scheduler noise
+            for depth in (0, pipeline_depth):
+                workdir = tmp_path_factory.mktemp(
+                    f"pipe-{algorithm}-{next(counter)}"
+                )
+                elapsed, result = _timed_run(
+                    algorithm, recs, cluster, buf, depth, workdir
+                )
+                if elapsed < best[depth]:
+                    best[depth] = elapsed
+                    results[depth] = result
+        return best, results
+
+    best, results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    sync_t, pipe_t = best[0], best[pipeline_depth]
+
+    body = [f"synchronous: {sync_t * 1000:7.1f} ms"]
+    body.extend(_breakdown_lines(results[0]))
+    body.append(f"depth {pipeline_depth}: {pipe_t * 1000:7.1f} ms")
+    body.extend(_breakdown_lines(results[pipeline_depth]))
+    for depth, result in sorted(results.items()):
+        overlap = measured_overlap(result.trace)
+        body.append(
+            f"depth {depth}: io_wait_fraction = "
+            f"{overlap['io_wait_fraction']:.2%}"
+        )
+    show(f"Pipelined vs synchronous passes — {algorithm}", "\n".join(body))
+
+    assert results[0].output is not None
+    assert results[pipeline_depth].stage_wall(), "pipelined run lost its trace"
+    assert pipe_t <= sync_t * NOISE_FACTOR, (
+        f"pipeline depth {pipeline_depth} slower than synchronous: "
+        f"{pipe_t:.3f}s vs {sync_t:.3f}s"
+    )

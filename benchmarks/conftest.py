@@ -11,6 +11,22 @@ section end to end.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--pipeline-depth",
+        type=int,
+        default=2,
+        help="read-ahead/write-behind depth used by the pipelined "
+        "benchmarks (0 = synchronous)",
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_depth(request):
+    """The --pipeline-depth harness knob (default 2)."""
+    return request.config.getoption("--pipeline-depth")
+
+
 @pytest.fixture(scope="session")
 def show():
     """Print helper that survives captured output (-s not required for

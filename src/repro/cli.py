@@ -93,12 +93,13 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         return 0
     result = sort_out_of_core(
         args.algorithm, records, cluster, fmt, buffer_records=args.buffer,
-        workdir=args.workdir,
+        workdir=args.workdir, pipeline_depth=args.pipeline_depth,
     )
     io = result.io
     print(
         f"{args.algorithm}: sorted {args.records} records on P={args.processors} "
-        f"in {result.passes} passes — verified"
+        f"in {result.passes} passes (pipeline depth {args.pipeline_depth}) "
+        f"— verified"
     )
     print(
         f"  disk I/O: {io['bytes_read']:,} B read / {io['bytes_written']:,} B "
@@ -108,6 +109,15 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         f"  network: {result.comm_total['network_bytes']:,} B in "
         f"{result.comm_total['network_messages']} messages"
     )
+    wall = result.stage_wall()
+    if wall:
+        total = sum(wall.values())
+        breakdown = "  ".join(
+            f"{cat} {wall[cat] * 1000:.1f} ms"
+            for cat in ("read_wait", "compute", "comm", "incore", "write_wait")
+            if cat in wall
+        )
+        print(f"  stage wall (rank 0, {total * 1000:.1f} ms): {breakdown}")
     return 0
 
 
@@ -149,6 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
     srt.add_argument("--workload", choices=workload_names(), default="uniform")
     srt.add_argument("--seed", type=int, default=0)
     srt.add_argument("--workdir", default=None)
+    srt.add_argument(
+        "--pipeline-depth", type=int, default=2,
+        help="read-ahead/write-behind depth per pass (0 = synchronous); "
+             "output is byte-identical at every depth",
+    )
     srt.add_argument(
         "--group-size", "-g", type=int, default=None,
         help="adjustable height interpretation: run g-columnsort with "

@@ -84,6 +84,23 @@ class CommStats:
             self.by_op.clear()
 
 
+def measured_wall(passes: list) -> dict[str, float]:
+    """Aggregate measured per-stage wall time across passes.
+
+    Each pass is a :class:`~repro.simulate.trace.PassTrace` whose
+    ``wall`` dict was filled by the pipeline's
+    :class:`~repro.pipeline.StageClock` (categories ``read_wait``,
+    ``compute``, ``comm``, ``incore``, ``write_wait``). Returns the
+    category → seconds sum; empty when no pass carried measurements
+    (e.g. the run had ``collect_trace=False``).
+    """
+    total: dict[str, float] = {}
+    for pass_trace in passes:
+        for category, seconds in getattr(pass_trace, "wall", {}).items():
+            total[category] = total.get(category, 0.0) + seconds
+    return total
+
+
 def combined(stats: list[CommStats]) -> dict:
     """Aggregate counters across ranks (for whole-run assertions)."""
     total = {

@@ -21,6 +21,8 @@ assigned by arrival, not by source.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.cluster.config import ClusterConfig
@@ -77,6 +79,7 @@ class ColumnStore(_StoreBase):
         self.r = r
         self.s = s
         self._cursors: dict[int, int] = {}
+        self._cursor_lock = threading.Lock()
 
     # -- placement ------------------------------------------------------
 
@@ -143,19 +146,26 @@ class ColumnStore(_StoreBase):
 
         Used by passes whose per-round contributions to a column are
         unequal (the subblock pass); the next pass sorts the column, so
-        arrival order is immaterial.
+        arrival order is immaterial. Thread-safe: the cursor range is
+        reserved under a lock, so concurrent appenders (the main rank
+        thread plus a write-behind flusher) land in disjoint rows.
         """
-        cursor = self._cursors.get(j, 0)
+        with self._cursor_lock:
+            cursor = self._cursors.get(j, 0)
+            if cursor + len(records) <= self.r:
+                self._cursors[j] = cursor + len(records)
+            # else: don't reserve — write_segment raises, cursor unchanged
         self.write_segment(rank, j, cursor, records)
-        self._cursors[j] = cursor + len(records)
 
     def reset_cursors(self) -> None:
         """Clear append cursors (call between passes)."""
-        self._cursors.clear()
+        with self._cursor_lock:
+            self._cursors.clear()
 
     def cursor(self, j: int) -> int:
         """Current append cursor of column ``j`` (rows already written)."""
-        return self._cursors.get(j, 0)
+        with self._cursor_lock:
+            return self._cursors.get(j, 0)
 
     # -- bulk load/dump (test and example harnesses; not metered passes) --
 
@@ -215,6 +225,7 @@ class StripedColumnStore(_StoreBase):
         self.s = s
         self.portion = r // cfg.p
         self._cursors: dict[tuple[int, int], int] = {}
+        self._cursor_lock = threading.Lock()
 
     def _file(self, j: int, rank: int) -> str:
         return f"{self.name}.col{j:06d}.part{rank:03d}"
@@ -267,17 +278,23 @@ class StripedColumnStore(_StoreBase):
     def append_to_portion(self, rank: int, j: int, records: np.ndarray) -> None:
         """Append ``records`` to the rank's portion of column ``j`` at its
         current cursor (positions assigned by arrival; the next pass
-        sorts the column)."""
+        sorts the column). Thread-safe: concurrent appenders reserve
+        disjoint cursor ranges."""
         key = (j, rank)
-        cursor = self._cursors.get(key, 0)
+        with self._cursor_lock:
+            cursor = self._cursors.get(key, 0)
+            if cursor + len(records) <= self.portion:
+                self._cursors[key] = cursor + len(records)
+            # else: don't reserve — write_portion_segment raises
         self.write_portion_segment(rank, j, cursor, records)
-        self._cursors[key] = cursor + len(records)
 
     def reset_cursors(self) -> None:
-        self._cursors.clear()
+        with self._cursor_lock:
+            self._cursors.clear()
 
     def cursor(self, rank: int, j: int) -> int:
-        return self._cursors.get((j, rank), 0)
+        with self._cursor_lock:
+            return self._cursors.get((j, rank), 0)
 
     @classmethod
     def from_records(
@@ -359,6 +376,7 @@ class GroupColumnStore(_StoreBase):
         self.s = s
         self.portion = r // group_size
         self._cursors: dict[tuple[int, int], int] = {}
+        self._cursor_lock = threading.Lock()
 
     # -- placement ------------------------------------------------------
 
@@ -422,21 +440,23 @@ class GroupColumnStore(_StoreBase):
     def append_to_portion(self, rank: int, j: int, records: np.ndarray) -> None:
         member = self._check_access(rank, j)
         key = (j, member)
-        cursor = self._cursors.get(key, 0)
-        if cursor + len(records) > self.portion:
-            raise ConfigError(
-                f"append of {len(records)} records overflows portion of "
-                f"column {j} (cursor {cursor}, portion {self.portion})"
-            )
+        with self._cursor_lock:
+            cursor = self._cursors.get(key, 0)
+            if cursor + len(records) > self.portion:
+                raise ConfigError(
+                    f"append of {len(records)} records overflows portion of "
+                    f"column {j} (cursor {cursor}, portion {self.portion})"
+                )
+            self._cursors[key] = cursor + len(records)
         self._disk_for(j, rank).write_at(
             self._file(j, member),
             self.fmt.nbytes(cursor),
             self.fmt.to_bytes(records),
         )
-        self._cursors[key] = cursor + len(records)
 
     def reset_cursors(self) -> None:
-        self._cursors.clear()
+        with self._cursor_lock:
+            self._cursors.clear()
 
     # -- bulk load/dump ----------------------------------------------------
 

@@ -53,6 +53,12 @@ class CommError(ReproError, RuntimeError):
     """
 
 
+class PipelineError(ReproError, RuntimeError):
+    """A read-ahead/write-behind buffer pool misbehaved or timed out
+    (a stalled prefetch, an over-full flusher, or a drain that never
+    completed)."""
+
+
 class DiskError(ReproError, IOError):
     """A virtual-disk operation failed (short read, out-of-range block,
     write to a read-only disk, or an injected fault)."""

@@ -53,6 +53,33 @@ def breakdown_table(
     return rows
 
 
+def measured_breakdown_table(result) -> list[dict]:
+    """Per-pass rows of *measured* stage wall time for a functional run.
+
+    ``result`` is an :class:`~repro.oocs.base.OocResult` from a traced
+    run; each row reports the rank-0 seconds the pass pipeline spent in
+    every stage category, mirroring :func:`breakdown_table`'s predicted
+    rows so before/after (synchronous vs pipelined) comparisons line up
+    column-for-column.
+    """
+    if result.trace is None:
+        return []
+    categories = ("read_wait", "compute", "comm", "incore", "write_wait")
+    rows: list[dict] = []
+    for pass_trace in result.trace.passes:
+        wall = pass_trace.wall
+        row = {
+            "algorithm": result.algorithm,
+            "pass": pass_trace.name,
+            "depth": result.job.pipeline_depth,
+        }
+        for cat in categories:
+            row[f"{cat} (s)"] = wall.get(cat, 0.0)
+        row["total (s)"] = sum(wall.values())
+        rows.append(row)
+    return rows
+
+
 def io_boundedness(rows: list[dict]) -> dict[str, float]:
     """Mean I/O-thread utilization per algorithm — the quantitative form
     of the paper's 'how I/O-bound is it' narrative."""

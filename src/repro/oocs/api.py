@@ -46,6 +46,7 @@ def sort_out_of_core(
     workdir: str | Path | None = None,
     verify: bool = True,
     collect_trace: bool = True,
+    pipeline_depth: int = 0,
 ) -> OocResult:
     """Sort ``records`` out-of-core with the named algorithm
     (``"threaded"``, ``"subblock"``, ``"m"``, or ``"hybrid"``).
@@ -53,6 +54,12 @@ def sort_out_of_core(
     ``buffer_records`` is the per-processor buffer ``r`` in records:
     the column height for threaded/subblock, the per-processor portion
     of an ``M``-high column for m/hybrid.
+
+    ``pipeline_depth`` enables overlapped I/O inside every pass: each
+    rank prefetches up to that many columns ahead of the compute stage
+    and retires writes through a write-behind flusher. Depth 0 (the
+    default) runs every pass synchronously; any depth produces
+    byte-identical output.
 
     With ``verify=True`` (default) the PDM output is read back and
     checked to be a sorted permutation of the input with intact keys.
@@ -78,6 +85,7 @@ def sort_out_of_core(
         n=len(records),
         buffer_records=buffer_records,
         workdir=workdir,
+        pipeline_depth=pipeline_depth,
     )
     r, s = shape_of(job)
     ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir, striped=striped)
@@ -95,6 +103,7 @@ def run_baseline_io(
     buffer_records: int,
     passes: int = 3,
     workdir: str | Path | None = None,
+    pipeline_depth: int = 0,
 ) -> OocResult:
     """Run the §5 I/O-only baseline over ``records``."""
     job = OocJob(
@@ -103,6 +112,7 @@ def run_baseline_io(
         n=len(records),
         buffer_records=buffer_records,
         workdir=workdir,
+        pipeline_depth=pipeline_depth,
     )
     r, s = threaded_shape(job)
     ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir)

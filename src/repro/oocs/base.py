@@ -18,6 +18,13 @@ The helpers run inside SPMD rank programs. Rank 0 additionally emits a
 :class:`~repro.simulate.trace.PassTrace` (the processors are symmetric,
 so one rank's trace describes them all).
 
+Each pass overlaps its disk I/O with compute and communication through
+the :mod:`repro.pipeline` buffer pools: column reads are prefetched by a
+bounded read-ahead thread and disk writes retired by a write-behind
+thread, ``plan.depth`` buffers deep on each side (depth 0 = the strictly
+sequential baseline). The measured read-wait / compute / comm /
+write-wait breakdown lands in ``PassTrace.wall``.
+
 A correctness-relevant storage freedom (also exploited by the paper's
 implementation, cf. footnote 5 on write patterns and sorted runs):
 between passes, records need to be in the right *column* but may sit at
@@ -29,6 +36,7 @@ from __future__ import annotations
 
 import tempfile
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 
 import numpy as np
@@ -39,6 +47,15 @@ from repro.disks.matrixfile import ColumnStore, PdmStore
 from repro.disks.virtual_disk import VirtualDisk, make_disk_array
 from repro.errors import ConfigError
 from repro.matrix.bits import is_power_of_two
+from repro.pipeline import (
+    COMM,
+    COMPUTE,
+    SYNCHRONOUS,
+    PipelinePlan,
+    ReadAhead,
+    StageClock,
+    WriteBehind,
+)
 from repro.records.format import RecordFormat
 from repro.simulate.trace import (
     PassTrace,
@@ -80,6 +97,10 @@ class OocJob:
         Output PDM block size in records (defaults to
         ``buffer_records / P``, so one buffer's worth of output stripes
         across all processors' disks).
+    pipeline_depth:
+        Buffers the read-ahead and write-behind pools may each keep in
+        flight per pass (see :mod:`repro.pipeline`); ``0`` runs every
+        pass strictly synchronously.
     """
 
     cluster: ClusterConfig
@@ -88,8 +109,13 @@ class OocJob:
     buffer_records: int
     workdir: str | Path | None = None
     pdm_block: int | None = None
+    pipeline_depth: int = 0
 
     def __post_init__(self) -> None:
+        if self.pipeline_depth < 0:
+            raise ConfigError(
+                f"pipeline_depth must be >= 0, got {self.pipeline_depth}"
+            )
         if not is_power_of_two(self.n):
             raise ConfigError(f"N must be a power of 2 records, got {self.n}")
         if not is_power_of_two(self.buffer_records):
@@ -107,6 +133,12 @@ class OocJob:
     @property
     def buffer_bytes(self) -> int:
         return self.buffer_records * self.fmt.record_size
+
+    def pipeline_plan(self) -> PipelinePlan:
+        """The per-pass overlap plan this job asks for."""
+        if self.pipeline_depth == 0:
+            return SYNCHRONOUS
+        return PipelinePlan(depth=self.pipeline_depth)
 
 
 @dataclass
@@ -127,6 +159,16 @@ class OocResult:
     def output_records(self) -> np.ndarray:
         """Read the sorted output back (verification convenience)."""
         return self.output.read_all()
+
+    def stage_wall(self) -> dict[str, float]:
+        """Measured per-stage wall time (rank 0) summed over all passes:
+        ``read_wait`` / ``compute`` / ``comm`` / ``incore`` /
+        ``write_wait`` seconds as recorded by the pass pipeline's
+        :class:`~repro.pipeline.StageClock`. Empty when the run was
+        traced with ``collect_trace=False``."""
+        if self.trace is None:
+            return {}
+        return self.trace.measured_wall()
 
 
 @dataclass
@@ -177,6 +219,29 @@ def make_workspace(
 # ---------------------------------------------------------------------------
 # Pass bodies (run per rank)
 # ---------------------------------------------------------------------------
+#
+# Every pass pulls its column buffers through a ReadAhead prefetcher and
+# retires its disk writes through a WriteBehind flusher (repro.pipeline):
+# with plan.depth >= 1 the NumPy compute and mailbox communication of
+# round t overlap the read of round t+depth and the writes of earlier
+# rounds, the same overlap structure [CC02] gets from pthreads. With the
+# default SYNCHRONOUS plan both pools degenerate to inline calls.
+
+
+def _column_prefetch(
+    src: ColumnStore, rank: int, cols, plan: PipelinePlan, clock: StageClock
+) -> ReadAhead:
+    """Read-ahead over whole owned columns (threaded/subblock layout)."""
+    return ReadAhead(
+        [partial(src.read_column, rank, c) for c in cols], plan, clock
+    )
+
+
+def _finish_pass(trace: PassTrace | None, clock: StageClock) -> None:
+    """Record the measured stage breakdown on the pass trace (rank 0)."""
+    if trace is not None:
+        clock.merge_into(trace.wall)
+
 
 def pass_step2_deal(
     comm: Comm,
@@ -184,6 +249,7 @@ def pass_step2_deal(
     dst: ColumnStore,
     fmt: RecordFormat,
     trace: PassTrace | None = None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """Pass = columnsort steps 1+2 (or 3+4's mirror — see
     :func:`pass_step4_deal`): each round, sort one column per processor
@@ -197,23 +263,44 @@ def pass_step2_deal(
     p = comm.size
     r, s = src.r, src.s
     band = r // s  # rows each source column contributes to each target
-    for t in range(s // p):
-        c = t * p + comm.rank
-        col = src.read_column(comm.rank, c)
-        col = col[np.argsort(col["key"], kind="stable")]
-        # Sorted row i goes to target column i mod s, owned by rank i mod P.
-        parts = [col[q::p] for q in range(p)]
-        recv = comm.alltoallv(parts)
-        # recv[q] holds rows i ≡ rank (mod P) of source column t·P+q in
-        # ascending order; as a (band, s/P) block its column l is the
-        # slice bound for target column rank + l·P.
-        blocks = [a.reshape(band, s // p) for a in recv]
-        for l in range(s // p):
-            target = comm.rank + l * p
-            seg = np.concatenate([blocks[q][:, l] for q in range(p)])
-            dst.write_segment(comm.rank, target, t * p * band, seg)
-        if trace is not None:
-            trace.rounds.append(deal_round_work(fmt.record_size, r, (p - 1) / p, p - 1))
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    cols = [t * p + comm.rank for t in range(s // p)]
+    reader = _column_prefetch(src, comm.rank, cols, plan, clock)
+    writer = WriteBehind(plan, clock)
+    try:
+        for t in range(s // p):
+            col = reader.get()
+            with clock.stage(COMPUTE):
+                col = col[np.argsort(col["key"], kind="stable")]
+                # Sorted row i goes to target column i mod s, rank i mod P.
+                parts = [col[q::p] for q in range(p)]
+            with clock.stage(COMM):
+                recv = comm.alltoallv(parts)
+            with clock.stage(COMPUTE):
+                # recv[q] holds rows i ≡ rank (mod P) of source column t·P+q
+                # in ascending order; as a (band, s/P) block its column l is
+                # the slice bound for target column rank + l·P.
+                blocks = [a.reshape(band, s // p) for a in recv]
+                segs = []
+                for l in range(s // p):
+                    target = comm.rank + l * p
+                    segs.append(
+                        (target, np.concatenate([blocks[q][:, l] for q in range(p)]))
+                    )
+            for target, seg in segs:
+                writer.put(
+                    partial(dst.write_segment, comm.rank, target, t * p * band, seg)
+                )
+            if trace is not None:
+                trace.rounds.append(
+                    deal_round_work(fmt.record_size, r, (p - 1) / p, p - 1)
+                )
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def pass_step4_deal(
@@ -222,6 +309,7 @@ def pass_step4_deal(
     dst: ColumnStore,
     fmt: RecordFormat,
     trace: PassTrace | None = None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """Pass = columnsort steps 3+4: sort one column per processor per
     round and apply the inverse deal.
@@ -233,20 +321,39 @@ def pass_step4_deal(
     p = comm.size
     r, s = src.r, src.s
     chunk = r // s
-    for t in range(s // p):
-        c = t * p + comm.rank
-        col = src.read_column(comm.rank, c)
-        col = col[np.argsort(col["key"], kind="stable")]
-        chunks = col.reshape(s, chunk)
-        parts = [chunks[q::p].reshape(-1) for q in range(p)]
-        recv = comm.alltoallv(parts)
-        blocks = [a.reshape(s // p, chunk) for a in recv]
-        for l in range(s // p):
-            target = comm.rank + l * p
-            seg = np.concatenate([blocks[q][l] for q in range(p)])
-            dst.append_to_column(comm.rank, target, seg)
-        if trace is not None:
-            trace.rounds.append(deal_round_work(fmt.record_size, r, (p - 1) / p, p - 1))
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    cols = [t * p + comm.rank for t in range(s // p)]
+    reader = _column_prefetch(src, comm.rank, cols, plan, clock)
+    writer = WriteBehind(plan, clock)
+    try:
+        for t in range(s // p):
+            col = reader.get()
+            with clock.stage(COMPUTE):
+                col = col[np.argsort(col["key"], kind="stable")]
+                chunks = col.reshape(s, chunk)
+                parts = [chunks[q::p].reshape(-1) for q in range(p)]
+            with clock.stage(COMM):
+                recv = comm.alltoallv(parts)
+            with clock.stage(COMPUTE):
+                blocks = [a.reshape(s // p, chunk) for a in recv]
+                segs = []
+                for l in range(s // p):
+                    target = comm.rank + l * p
+                    segs.append(
+                        (target, np.concatenate([blocks[q][l] for q in range(p)]))
+                    )
+            for target, seg in segs:
+                writer.put(partial(dst.append_to_column, comm.rank, target, seg))
+            if trace is not None:
+                trace.rounds.append(
+                    deal_round_work(fmt.record_size, r, (p - 1) / p, p - 1)
+                )
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def pass_final_windows(
@@ -255,6 +362,7 @@ def pass_final_windows(
     pdm: PdmStore,
     fmt: RecordFormat,
     trace: PassTrace | None = None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """The combined last pass (steps 5+6+7+8).
 
@@ -273,6 +381,11 @@ def pass_final_windows(
     right = (comm.rank + 1) % p
     left = (comm.rank - 1) % p
     rounds = s // p
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    cols = [t * p + comm.rank for t in range(rounds)]
+    reader = _column_prefetch(src, comm.rank, cols, plan, clock)
+    writer = WriteBehind(plan, clock)
 
     def window_range(w: int) -> tuple[int, int]:
         """Final global range [start, stop) of sorted window w."""
@@ -283,15 +396,17 @@ def pass_final_windows(
         window (if any) to the PDM owners and writes what it receives.
         Receivers reconstruct senders' window ranges deterministically
         from the round number — no metadata crosses the network."""
-        parts = [fmt.empty(0) for _ in range(p)]
-        if window is not None:
-            w = s if extra else t * p + comm.rank
-            start, _ = window_range(w)
-            for q, pieces in pdm.split_by_owner(start, len(window)).items():
-                parts[q] = np.concatenate(
-                    [window[rel : rel + nn] for (_d, _o, rel, nn) in pieces]
-                )
-        recv = comm.alltoallv(parts)
+        with clock.stage(COMPUTE):
+            parts = [fmt.empty(0) for _ in range(p)]
+            if window is not None:
+                w = s if extra else t * p + comm.rank
+                start, _ = window_range(w)
+                for q, pieces in pdm.split_by_owner(start, len(window)).items():
+                    parts[q] = np.concatenate(
+                        [window[rel : rel + nn] for (_d, _o, rel, nn) in pieces]
+                    )
+        with clock.stage(COMM):
+            recv = comm.alltoallv(parts)
         for q_src in range(p):
             w = s if extra else t * p + q_src
             if extra and q_src != 0:
@@ -303,34 +418,46 @@ def pass_final_windows(
             got = recv[q_src]
             at = 0
             for (_disk, _off, rel, nn) in pieces:
-                pdm.write_global(comm.rank, start + rel, got[at : at + nn])
+                writer.put(
+                    partial(pdm.write_global, comm.rank, start + rel, got[at : at + nn])
+                )
                 at += nn
 
-    for t in range(rounds):
-        c = t * p + comm.rank
-        col = src.read_column(comm.rank, c)
-        col = col[np.argsort(col["key"], kind="stable")]  # step 5
-        # First communicate: bottom half → owner of window c+1.
-        comm.send(col[half:], right, tag=WINDOW_TAG)
-        if t == 0 and comm.rank == 0:
-            upper = fmt.pad_low(half)  # window 0's −∞ padding
-        else:
-            upper = comm.recv(left, tag=WINDOW_TAG)  # bottom of column c−1
-        merged = np.concatenate([upper, col[:half]])
-        window = merged[np.argsort(merged["key"], kind="stable")]  # step 7
-        if c == 0:
-            window = window[half:]  # drop the −∞ padding (step 8)
-        route_and_write(t, window, extra=False)
-        if trace is not None:
-            trace.rounds.append(final_round_work(fmt.record_size, r, p))
+    try:
+        for t in range(rounds):
+            c = t * p + comm.rank
+            col = reader.get()
+            with clock.stage(COMPUTE):
+                col = col[np.argsort(col["key"], kind="stable")]  # step 5
+            with clock.stage(COMM):
+                # First communicate: bottom half → owner of window c+1.
+                comm.send(col[half:], right, tag=WINDOW_TAG)
+                if t == 0 and comm.rank == 0:
+                    upper = fmt.pad_low(half)  # window 0's −∞ padding
+                else:
+                    upper = comm.recv(left, tag=WINDOW_TAG)  # bottom of col c−1
+            with clock.stage(COMPUTE):
+                merged = np.concatenate([upper, col[:half]])
+                window = merged[np.argsort(merged["key"], kind="stable")]  # step 7
+                if c == 0:
+                    window = window[half:]  # drop the −∞ padding (step 8)
+            route_and_write(t, window, extra=False)
+            if trace is not None:
+                trace.rounds.append(final_round_work(fmt.record_size, r, p))
 
-    # Window s: the bottom half of the last column followed by +∞
-    # padding — already sorted, so rank 0 (its owner) writes it directly.
-    if comm.rank == 0:
-        tail = comm.recv(left, tag=WINDOW_TAG)
-        route_and_write(rounds, tail, extra=True)
-    else:
-        route_and_write(rounds, None, extra=True)
+        # Window s: the bottom half of the last column followed by +∞
+        # padding — already sorted, so rank 0 (its owner) writes it directly.
+        if comm.rank == 0:
+            with clock.stage(COMM):
+                tail = comm.recv(left, tag=WINDOW_TAG)
+            route_and_write(rounds, tail, extra=True)
+        else:
+            route_and_write(rounds, None, extra=True)
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def pass_io_only(
@@ -339,17 +466,29 @@ def pass_io_only(
     dst: ColumnStore,
     fmt: RecordFormat,
     trace: PassTrace | None = None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """Read every owned column and write it back — one baseline I/O pass
     (paper §5's 'just the I/O portions' runs)."""
     p = comm.size
     r, s = src.r, src.s
-    for t in range(s // p):
-        c = t * p + comm.rank
-        col = src.read_column(comm.rank, c)
-        dst.write_column(comm.rank, c, col)
-        if trace is not None:
-            trace.rounds.append(io_round_work(fmt.record_size, r))
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    cols = [t * p + comm.rank for t in range(s // p)]
+    reader = _column_prefetch(src, comm.rank, cols, plan, clock)
+    writer = WriteBehind(plan, clock)
+    try:
+        for t in range(s // p):
+            c = t * p + comm.rank
+            col = reader.get()
+            writer.put(partial(dst.write_column, comm.rank, c, col))
+            if trace is not None:
+                trace.rounds.append(io_round_work(fmt.record_size, r))
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 # ---------------------------------------------------------------------------

@@ -22,13 +22,14 @@ from repro.simulate.trace import RunTrace
 def _rank_program(
     comm: Comm, job: OocJob, stores: list, passes: int, collect_trace: bool
 ) -> dict:
+    plan = job.pipeline_plan()
     traces = []
     for k in range(passes):
         trace = None
         if comm.rank == 0 and collect_trace:
             trace = new_pass_trace(f"io-pass{k + 1}", "io")
             traces.append(trace)
-        pass_io_only(comm, stores[k], stores[k + 1], job.fmt, trace)
+        pass_io_only(comm, stores[k], stores[k + 1], job.fmt, trace, plan=plan)
         comm.barrier()
     return {"traces": traces}
 

@@ -22,6 +22,8 @@ communicate stage at all in this regime.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.cluster.comm import Comm
@@ -31,9 +33,17 @@ from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import PdmStore, StripedColumnStore
 from repro.errors import ConfigError, DimensionError
 from repro.matrix.bits import is_power_of_four, sqrt_pow4
-from repro.oocs.base import OocJob, OocResult, PassMarker
+from repro.oocs.base import OocJob, OocResult, PassMarker, _finish_pass
 from repro.oocs.incore.columnsort_dist import distributed_columnsort
-from repro.oocs.mcolumnsort import _pass1_m, _pass2_m, _pass3_m
+from repro.oocs.mcolumnsort import _pass1_m, _pass2_m, _pass3_m, _portion_prefetch
+from repro.pipeline import (
+    COMPUTE,
+    INCORE,
+    SYNCHRONOUS,
+    PipelinePlan,
+    StageClock,
+    WriteBehind,
+)
 from repro.records.format import RecordFormat
 from repro.simulate.trace import (
     PassTrace,
@@ -80,6 +90,7 @@ def _pass_subblock_m(
     dst: StripedColumnStore,
     fmt: RecordFormat,
     trace: PassTrace | None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """The subblock pass under ``r = M``: distributed sort (step 3) then
     the subblock permutation (step 3.1) applied by sorted rank."""
@@ -87,29 +98,49 @@ def _pass_subblock_m(
     t = sqrt_pow4(s)
     portion = src.portion
     share = portion // t
-    for c in range(s):
-        local = src.read_portion(comm.rank, c)
-        mine = distributed_columnsort(comm, local, fmt)  # step 3
-        c0 = c % t
-        base = comm.rank * portion
-        x = (base + np.arange(portion)) % t
-        grouped = mine[np.argsort(x, kind="stable")]
-        for k in range(t):
-            target = c0 + k * t
-            dst.append_to_portion(
-                comm.rank, target, grouped[k * share : (k + 1) * share]
-            )
-        if trace is not None:
-            trace.rounds.append(m_deal_round_work(fmt.record_size, portion, p, "balanced"))
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    reader = _portion_prefetch(src, comm.rank, plan, clock)
+    writer = WriteBehind(plan, clock)
+    try:
+        for c in range(s):
+            local = reader.get()
+            with clock.stage(INCORE):
+                mine = distributed_columnsort(comm, local, fmt)  # step 3
+            with clock.stage(COMPUTE):
+                c0 = c % t
+                base = comm.rank * portion
+                x = (base + np.arange(portion)) % t
+                grouped = mine[np.argsort(x, kind="stable")]
+            for k in range(t):
+                target = c0 + k * t
+                writer.put(
+                    partial(
+                        dst.append_to_portion,
+                        comm.rank,
+                        target,
+                        grouped[k * share : (k + 1) * share],
+                    )
+                )
+            if trace is not None:
+                trace.rounds.append(
+                    m_deal_round_work(fmt.record_size, portion, p, "balanced")
+                )
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
     fmt = job.fmt
+    plan = job.pipeline_plan()
     want_trace = comm.rank == 0 and collect_trace
     marker = PassMarker(comm, stores["input"].disks)
 
     t1 = PassTrace("pass1:steps1-2", eleven_stage_pipeline()) if want_trace else None
-    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1)
+    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
     marker.mark()
 
     t2 = (
@@ -117,15 +148,15 @@ def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) ->
         if want_trace
         else None
     )
-    _pass_subblock_m(comm, stores["t1"], stores["t2"], fmt, t2)
+    _pass_subblock_m(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
     marker.mark()
 
     t3 = PassTrace("pass3:steps3.2+4", eleven_stage_pipeline()) if want_trace else None
-    _pass2_m(comm, stores["t2"], stores["t3"], fmt, t3)
+    _pass2_m(comm, stores["t2"], stores["t3"], fmt, t3, plan=plan)
     marker.mark()
 
     t4 = PassTrace("pass4:steps5-8", twenty_stage_pipeline()) if want_trace else None
-    _pass3_m(comm, stores["t3"], stores["output"], fmt, t4)
+    _pass3_m(comm, stores["t3"], stores["output"], fmt, t4, plan=plan)
     marker.mark()
 
     return {

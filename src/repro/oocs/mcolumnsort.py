@@ -23,6 +23,8 @@ on 7 threads.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.cluster.comm import Comm
@@ -31,9 +33,19 @@ from repro.cluster.stats import combined
 from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import PdmStore, StripedColumnStore
 from repro.errors import ConfigError, DimensionError
-from repro.oocs.base import OocJob, OocResult, PassMarker
+from repro.oocs.base import OocJob, OocResult, PassMarker, _finish_pass
 from repro.oocs.incore.columnsort_dist import distributed_columnsort
 from repro.oocs.incore.common import Ranges
+from repro.pipeline import (
+    COMM,
+    COMPUTE,
+    INCORE,
+    SYNCHRONOUS,
+    PipelinePlan,
+    ReadAhead,
+    StageClock,
+    WriteBehind,
+)
 from repro.records.format import RecordFormat
 from repro.simulate.trace import (
     PassTrace,
@@ -82,12 +94,22 @@ def derive_shape(job: OocJob) -> tuple[int, int]:
 # Pass bodies
 # ---------------------------------------------------------------------------
 
+def _portion_prefetch(
+    src: StripedColumnStore, rank: int, plan: PipelinePlan, clock: StageClock
+) -> ReadAhead:
+    """Read-ahead over this rank's portions of columns 0..s-1."""
+    return ReadAhead(
+        [partial(src.read_portion, rank, c) for c in range(src.s)], plan, clock
+    )
+
+
 def _pass1_m(
     comm: Comm,
     src: StripedColumnStore,
     dst: StripedColumnStore,
     fmt: RecordFormat,
     trace: PassTrace | None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """Steps 1+2 with ``r = M``: one round per column; the distributed
     sort delivers balanced contiguous sorted ranges, whose records each
@@ -96,18 +118,37 @@ def _pass1_m(
     p, s = comm.size, src.s
     portion = src.portion
     share = portion // s
-    for c in range(s):
-        local = src.read_portion(comm.rank, c)
-        mine = distributed_columnsort(comm, local, fmt)
-        base = comm.rank * portion
-        cols = (base + np.arange(portion)) % s
-        grouped = mine[np.argsort(cols, kind="stable")]
-        for target in range(s):
-            dst.append_to_portion(
-                comm.rank, target, grouped[target * share : (target + 1) * share]
-            )
-        if trace is not None:
-            trace.rounds.append(m_deal_round_work(fmt.record_size, portion, p, "balanced"))
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    reader = _portion_prefetch(src, comm.rank, plan, clock)
+    writer = WriteBehind(plan, clock)
+    try:
+        for c in range(s):
+            local = reader.get()
+            with clock.stage(INCORE):
+                mine = distributed_columnsort(comm, local, fmt)
+            with clock.stage(COMPUTE):
+                base = comm.rank * portion
+                cols = (base + np.arange(portion)) % s
+                grouped = mine[np.argsort(cols, kind="stable")]
+            for target in range(s):
+                writer.put(
+                    partial(
+                        dst.append_to_portion,
+                        comm.rank,
+                        target,
+                        grouped[target * share : (target + 1) * share],
+                    )
+                )
+            if trace is not None:
+                trace.rounds.append(
+                    m_deal_round_work(fmt.record_size, portion, p, "balanced")
+                )
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def _pass2_m(
@@ -116,6 +157,7 @@ def _pass2_m(
     dst: StripedColumnStore,
     fmt: RecordFormat,
     trace: PassTrace | None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """Steps 3+4 with ``r = M``: sorted chunk ``m`` (ranks
     ``[m·M/s, (m+1)·M/s)``) belongs to target column ``m``; the in-core
@@ -130,15 +172,33 @@ def _pass2_m(
         [(m * chunk + q * piece, m * chunk + (q + 1) * piece) for m in range(s)]
         for q in range(p)
     ]
-    for c in range(s):
-        local = src.read_portion(comm.rank, c)
-        mine = distributed_columnsort(comm, local, fmt, target_ranges=ranges)
-        for m in range(s):
-            dst.append_to_portion(
-                comm.rank, m, mine[m * piece : (m + 1) * piece]
-            )
-        if trace is not None:
-            trace.rounds.append(m_deal_round_work(fmt.record_size, portion, p, "scattered"))
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    reader = _portion_prefetch(src, comm.rank, plan, clock)
+    writer = WriteBehind(plan, clock)
+    try:
+        for c in range(s):
+            local = reader.get()
+            with clock.stage(INCORE):
+                mine = distributed_columnsort(comm, local, fmt, target_ranges=ranges)
+            for m in range(s):
+                writer.put(
+                    partial(
+                        dst.append_to_portion,
+                        comm.rank,
+                        m,
+                        mine[m * piece : (m + 1) * piece],
+                    )
+                )
+            if trace is not None:
+                trace.rounds.append(
+                    m_deal_round_work(fmt.record_size, portion, p, "scattered")
+                )
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def _route_write(
@@ -147,20 +207,26 @@ def _route_write(
     fmt: RecordFormat,
     my_piece: tuple[int, np.ndarray] | None,
     piece_range_of,
+    writer: WriteBehind | None = None,
+    clock: StageClock | None = None,
 ) -> None:
     """The remaining out-of-core communicate + permute + write: each
     rank splits its (globally positioned) piece by PDM disk owner;
     receivers reconstruct every sender's range from the deterministic
-    ``piece_range_of(q) -> (gstart, length) | None`` and write."""
+    ``piece_range_of(q) -> (gstart, length) | None`` and write (through
+    the write-behind flusher when one is supplied)."""
     p = comm.size
-    parts = [fmt.empty(0) for _ in range(p)]
-    if my_piece is not None:
-        gstart, arr = my_piece
-        for q, pieces in pdm.split_by_owner(gstart, len(arr)).items():
-            parts[q] = np.concatenate(
-                [arr[rel : rel + nn] for (_d, _o, rel, nn) in pieces]
-            )
-    recv = comm.alltoallv(parts)
+    clock = clock if clock is not None else StageClock()
+    with clock.stage(COMPUTE):
+        parts = [fmt.empty(0) for _ in range(p)]
+        if my_piece is not None:
+            gstart, arr = my_piece
+            for q, pieces in pdm.split_by_owner(gstart, len(arr)).items():
+                parts[q] = np.concatenate(
+                    [arr[rel : rel + nn] for (_d, _o, rel, nn) in pieces]
+                )
+    with clock.stage(COMM):
+        recv = comm.alltoallv(parts)
     for q_src in range(p):
         rng = piece_range_of(q_src)
         if rng is None:
@@ -170,7 +236,11 @@ def _route_write(
         got = recv[q_src]
         at = 0
         for (_disk, _off, rel, nn) in pieces:
-            pdm.write_global(comm.rank, gstart + rel, got[at : at + nn])
+            task = partial(pdm.write_global, comm.rank, gstart + rel, got[at : at + nn])
+            if writer is not None:
+                writer.put(task)
+            else:
+                task()
             at += nn
 
 
@@ -180,6 +250,7 @@ def _pass3_m(
     pdm: PdmStore,
     fmt: RecordFormat,
     trace: PassTrace | None,
+    plan: PipelinePlan | None = None,
 ) -> None:
     """Steps 5-8 with ``r = M``, window-wise.
 
@@ -198,75 +269,98 @@ def _pass3_m(
     portion = src.portion
     half_ranks = p // 2
     retained: np.ndarray | None = None
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    reader = _portion_prefetch(src, comm.rank, plan, clock)
+    writer = WriteBehind(plan, clock)
 
-    for c in range(s):
-        local = src.read_portion(comm.rank, c)
-        mine = distributed_columnsort(comm, local, fmt)  # step 5
-        if c == 0:
-            # Window 0: −∞ padding + top(col 0) → its kept half is just
-            # the sorted top half, final ranks [0, M/2).
-            piece = (
-                (comm.rank * portion, mine) if comm.rank < half_ranks else None
-            )
-            _route_write(
-                comm,
-                pdm,
-                fmt,
-                piece,
-                lambda q: (q * portion, portion) if q < half_ranks else None,
-            )
-        else:
-            contribution = mine if comm.rank < half_ranks else retained
-            wsorted = distributed_columnsort(comm, contribution, fmt)  # step 7
-            base = c * r - r // 2
+    try:
+        for c in range(s):
+            local = reader.get()
+            with clock.stage(INCORE):
+                mine = distributed_columnsort(comm, local, fmt)  # step 5
+            if c == 0:
+                # Window 0: −∞ padding + top(col 0) → its kept half is just
+                # the sorted top half, final ranks [0, M/2).
+                piece = (
+                    (comm.rank * portion, mine) if comm.rank < half_ranks else None
+                )
+                _route_write(
+                    comm,
+                    pdm,
+                    fmt,
+                    piece,
+                    lambda q: (q * portion, portion) if q < half_ranks else None,
+                    writer,
+                    clock,
+                )
+            else:
+                contribution = mine if comm.rank < half_ranks else retained
+                with clock.stage(INCORE):
+                    wsorted = distributed_columnsort(comm, contribution, fmt)  # step 7
+                base = c * r - r // 2
 
-            def range_of(q: int, base=base) -> tuple[int, int]:
-                return (base + q * portion, portion)
+                def range_of(q: int, base=base) -> tuple[int, int]:
+                    return (base + q * portion, portion)
 
-            _route_write(
-                comm, pdm, fmt, (base + comm.rank * portion, wsorted), range_of
-            )
-        retained = mine if comm.rank >= half_ranks else None
-        if trace is not None:
-            trace.rounds.append(m_final_round_work(fmt.record_size, portion, p))
+                _route_write(
+                    comm,
+                    pdm,
+                    fmt,
+                    (base + comm.rank * portion, wsorted),
+                    range_of,
+                    writer,
+                    clock,
+                )
+            retained = mine if comm.rank >= half_ranks else None
+            if trace is not None:
+                trace.rounds.append(m_final_round_work(fmt.record_size, portion, p))
 
-    # Window s: bottom(col s−1) + +∞ padding — already sorted; final
-    # ranks [(s−1)·M + q·M/P, …) for the bottom-half ranks.
-    piece = (
-        ((s - 1) * r + comm.rank * portion, retained)
-        if comm.rank >= half_ranks
-        else None
-    )
-    _route_write(
-        comm,
-        pdm,
-        fmt,
-        piece,
-        lambda q: ((s - 1) * r + q * portion, portion) if q >= half_ranks else None,
-    )
+        # Window s: bottom(col s−1) + +∞ padding — already sorted; final
+        # ranks [(s−1)·M + q·M/P, …) for the bottom-half ranks.
+        piece = (
+            ((s - 1) * r + comm.rank * portion, retained)
+            if comm.rank >= half_ranks
+            else None
+        )
+        _route_write(
+            comm,
+            pdm,
+            fmt,
+            piece,
+            lambda q: ((s - 1) * r + q * portion, portion) if q >= half_ranks else None,
+            writer,
+            clock,
+        )
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
     fmt = job.fmt
+    plan = job.pipeline_plan()
     want_trace = comm.rank == 0 and collect_trace
     marker = PassMarker(comm, stores["input"].disks)
 
     t1 = (
         PassTrace("pass1:steps1-2", eleven_stage_pipeline()) if want_trace else None
     )
-    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1)
+    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
     marker.mark()
 
     t2 = (
         PassTrace("pass2:steps3-4", eleven_stage_pipeline()) if want_trace else None
     )
-    _pass2_m(comm, stores["t1"], stores["t2"], fmt, t2)
+    _pass2_m(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
     marker.mark()
 
     t3 = (
         PassTrace("pass3:steps5-8", twenty_stage_pipeline()) if want_trace else None
     )
-    _pass3_m(comm, stores["t2"], stores["output"], fmt, t3)
+    _pass3_m(comm, stores["t2"], stores["output"], fmt, t3, plan=plan)
     marker.mark()
 
     return {

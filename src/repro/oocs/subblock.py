@@ -23,6 +23,8 @@ with the subblock property (property 3).
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.cluster.comm import Comm
@@ -37,11 +39,14 @@ from repro.oocs.base import (
     OocJob,
     OocResult,
     PassMarker,
+    _column_prefetch,
+    _finish_pass,
     new_pass_trace,
     pass_final_windows,
     pass_step2_deal,
     pass_step4_deal,
 )
+from repro.pipeline import COMM, COMPUTE, SYNCHRONOUS, StageClock, WriteBehind
 from repro.simulate.trace import RunTrace
 from repro.simulate.traces import subblock_round_work
 
@@ -98,6 +103,7 @@ def pass_subblock(
     dst: ColumnStore,
     fmt,
     trace=None,
+    plan=None,
 ) -> None:
     """The subblock pass: sort each column (step 3) and apply the
     subblock permutation (step 3.1).
@@ -113,52 +119,73 @@ def pass_subblock(
     r, s = src.r, src.s
     t = sqrt_pow4(s)
     group = r // t
-    for rnd in range(s // p):
-        c = rnd * p + comm.rank
-        col = src.read_column(comm.rank, c)
-        col = col[np.argsort(col["key"], kind="stable")]  # step 3
-        classes = col.reshape(group, t)  # column x = rows i ≡ x (mod √s)
-        routing = subblock_round_routing(c, r, s, p)
-        parts = []
-        for q in range(p):
-            xs = routing.get(q)
-            if xs:
-                parts.append(np.ascontiguousarray(classes[:, xs].T).reshape(-1))
-            else:
-                parts.append(fmt.empty(0))
-        recv = comm.alltoallv(parts)
-        for q_src in range(p):
-            c_src = rnd * p + q_src
-            xs = subblock_round_routing(c_src, r, s, p).get(comm.rank, [])
-            arr = recv[q_src]
-            for idx, x in enumerate(xs):
-                target = x * t + (c_src % t)
-                dst.append_to_column(
-                    comm.rank, target, arr[idx * group : (idx + 1) * group]
-                )
-        if trace is not None:
-            trace.rounds.append(subblock_round_work(fmt.record_size, r, s, p))
+    plan = plan if plan is not None else SYNCHRONOUS
+    clock = StageClock()
+    cols = [rnd * p + comm.rank for rnd in range(s // p)]
+    reader = _column_prefetch(src, comm.rank, cols, plan, clock)
+    writer = WriteBehind(plan, clock)
+    try:
+        for rnd in range(s // p):
+            c = rnd * p + comm.rank
+            col = reader.get()
+            with clock.stage(COMPUTE):
+                col = col[np.argsort(col["key"], kind="stable")]  # step 3
+                classes = col.reshape(group, t)  # col x = rows i ≡ x (mod √s)
+                routing = subblock_round_routing(c, r, s, p)
+                parts = []
+                for q in range(p):
+                    xs = routing.get(q)
+                    if xs:
+                        parts.append(
+                            np.ascontiguousarray(classes[:, xs].T).reshape(-1)
+                        )
+                    else:
+                        parts.append(fmt.empty(0))
+            with clock.stage(COMM):
+                recv = comm.alltoallv(parts)
+            for q_src in range(p):
+                c_src = rnd * p + q_src
+                xs = subblock_round_routing(c_src, r, s, p).get(comm.rank, [])
+                arr = recv[q_src]
+                for idx, x in enumerate(xs):
+                    target = x * t + (c_src % t)
+                    writer.put(
+                        partial(
+                            dst.append_to_column,
+                            comm.rank,
+                            target,
+                            arr[idx * group : (idx + 1) * group],
+                        )
+                    )
+            if trace is not None:
+                trace.rounds.append(subblock_round_work(fmt.record_size, r, s, p))
+        writer.drain()
+    finally:
+        reader.close()
+        writer.close()
+    _finish_pass(trace, clock)
 
 
 def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
     fmt = job.fmt
+    plan = job.pipeline_plan()
     want_trace = comm.rank == 0 and collect_trace
     marker = PassMarker(comm, stores["input"].disks)
 
     t1 = new_pass_trace("pass1:steps1-2", "five") if want_trace else None
-    pass_step2_deal(comm, stores["input"], stores["t1"], fmt, t1)
+    pass_step2_deal(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
     marker.mark()
 
     t2 = new_pass_trace("pass2:steps3+3.1(subblock)", "five") if want_trace else None
-    pass_subblock(comm, stores["t1"], stores["t2"], fmt, t2)
+    pass_subblock(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
     marker.mark()
 
     t3 = new_pass_trace("pass3:steps3.2+4", "five") if want_trace else None
-    pass_step4_deal(comm, stores["t2"], stores["t3"], fmt, t3)
+    pass_step4_deal(comm, stores["t2"], stores["t3"], fmt, t3, plan=plan)
     marker.mark()
 
     t4 = new_pass_trace("pass4:steps5-8", "seven") if want_trace else None
-    pass_final_windows(comm, stores["t3"], stores["output"], fmt, t4)
+    pass_final_windows(comm, stores["t3"], stores["output"], fmt, t4, plan=plan)
     marker.mark()
 
     return {

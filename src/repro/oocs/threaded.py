@@ -51,19 +51,20 @@ def derive_shape(job: OocJob) -> tuple[int, int]:
 
 def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
     fmt = job.fmt
+    plan = job.pipeline_plan()
     want_trace = comm.rank == 0 and collect_trace
     marker = PassMarker(comm, stores["input"].disks)
 
     t1 = new_pass_trace("pass1:steps1-2", "five") if want_trace else None
-    pass_step2_deal(comm, stores["input"], stores["t1"], fmt, t1)
+    pass_step2_deal(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
     marker.mark()
 
     t2 = new_pass_trace("pass2:steps3-4", "five") if want_trace else None
-    pass_step4_deal(comm, stores["t1"], stores["t2"], fmt, t2)
+    pass_step4_deal(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
     marker.mark()
 
     t3 = new_pass_trace("pass3:steps5-8", "seven") if want_trace else None
-    pass_final_windows(comm, stores["t2"], stores["output"], fmt, t3)
+    pass_final_windows(comm, stores["t2"], stores["output"], fmt, t3, plan=plan)
     marker.mark()
 
     return {

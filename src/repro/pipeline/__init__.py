@@ -1,0 +1,42 @@
+"""Overlapped pass pipeline: read-ahead / write-behind buffer pools.
+
+The paper's engineering substrate ([CC02]'s threaded columnsort) hides
+I/O cost by overlapping disk reads, computation, communication, and
+disk writes within every pass. This package is that substrate for the
+reproduction: a bounded prefetcher that keeps the next ``depth`` column
+buffers in flight, a write-behind flusher that retires up to ``depth``
+buffered writes on a background thread, and a stage clock measuring
+where a rank's wall time actually goes (read-wait / compute / comm /
+write-wait) — the measured counterpart of the DES model's "overlap
+lives within a pass" assumption.
+"""
+
+from repro.pipeline.pools import (
+    SYNCHRONOUS,
+    PipelinePlan,
+    ReadAhead,
+    WriteBehind,
+)
+from repro.pipeline.timing import (
+    CATEGORIES,
+    COMM,
+    COMPUTE,
+    INCORE,
+    READ_WAIT,
+    WRITE_WAIT,
+    StageClock,
+)
+
+__all__ = [
+    "PipelinePlan",
+    "ReadAhead",
+    "WriteBehind",
+    "SYNCHRONOUS",
+    "StageClock",
+    "CATEGORIES",
+    "READ_WAIT",
+    "COMPUTE",
+    "COMM",
+    "INCORE",
+    "WRITE_WAIT",
+]

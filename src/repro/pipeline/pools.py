@@ -1,0 +1,300 @@
+"""Bounded read-ahead prefetcher and write-behind flusher.
+
+One :class:`ReadAhead` / :class:`WriteBehind` pair serves one rank for
+one pass. Both are backed by a single thread and a bounded queue of
+``depth`` buffers, so a pass pins at most ``2·depth + O(1)`` column
+buffers beyond the synchronous baseline — the buffer-pool budget the
+prediction model (:func:`repro.simulate.predict.buffers_per_round`)
+already reasons about.
+
+Contracts, shared by both pools:
+
+* **depth 0 is synchronous** — no thread is created and every operation
+  runs inline on the caller, byte-for-byte identical to the
+  pre-pipeline code path;
+* **order is preserved** — reads are delivered and writes retired in
+  submission order (append cursors and PDM offsets depend on it);
+* **first-error propagation** — an exception raised inside the worker
+  thread is re-raised, as the *same exception object*, from the next
+  consumer call (:meth:`ReadAhead.get`, :meth:`WriteBehind.put`, or
+  :meth:`WriteBehind.drain`), so a ``DiskFullError`` in a flusher
+  thread surfaces to the rank program exactly like a synchronous one;
+* **bounded waits** — every blocking call polls with a deadline and
+  raises :class:`~repro.errors.PipelineError` on timeout instead of
+  hanging the SPMD world;
+* **clean shutdown** — :meth:`close` is idempotent, never raises, and
+  joins the worker so no threads outlive the pass (a worker stuck in a
+  stalled disk call is left as a daemon and reaped when the call
+  returns — it cannot be interrupted from Python).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError, PipelineError
+from repro.pipeline.timing import READ_WAIT, WRITE_WAIT, StageClock
+
+#: Seconds between polls of a bounded queue; short enough that shutdown
+#: and error propagation feel immediate, long enough to stay off the
+#: profiler's radar.
+_POLL = 0.05
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """How a pass overlaps its I/O.
+
+    Parameters
+    ----------
+    depth:
+        Buffers each pool may hold in flight. ``0`` disables the
+        threads entirely (synchronous execution); ``1`` overlaps one
+        read and one write with compute; deeper pipelines hide more
+        latency at the cost of pinned buffer memory.
+    timeout:
+        Seconds any blocking pool operation may wait before raising
+        :class:`~repro.errors.PipelineError` (the pipeline's analogue
+        of the mailbox deadlock timeout).
+    """
+
+    depth: int = 0
+    timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ConfigError(f"pipeline depth must be >= 0, got {self.depth}")
+        if self.timeout <= 0:
+            raise ConfigError(f"pipeline timeout must be positive, got {self.timeout}")
+
+
+#: The depth-0 plan: the pre-pipeline, strictly sequential code path.
+SYNCHRONOUS = PipelinePlan(depth=0)
+
+
+class ReadAhead:
+    """Prefetch a fixed sequence of read tasks through a bounded queue.
+
+    ``tasks`` are zero-argument callables (typically
+    ``partial(store.read_column, rank, c)``); :meth:`get` yields their
+    results in order. With ``plan.depth == 0`` the task runs inline.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[Callable],
+        plan: PipelinePlan,
+        clock: StageClock | None = None,
+        name: str = "read-ahead",
+    ) -> None:
+        self._tasks = list(tasks)
+        self._plan = plan
+        self._clock = clock if clock is not None else StageClock()
+        self._next = 0
+        self._stop = threading.Event()
+        self._queue: queue.Queue | None = None
+        self._thread: threading.Thread | None = None
+        if plan.depth > 0 and self._tasks:
+            self._queue = queue.Queue(maxsize=plan.depth)
+            self._thread = threading.Thread(
+                target=self._worker, name=f"pipeline-{name}", daemon=True
+            )
+            self._thread.start()
+
+    def _worker(self) -> None:
+        for task in self._tasks:
+            if self._stop.is_set():
+                return
+            try:
+                item = ("ok", task())
+            except BaseException as exc:  # noqa: BLE001 — crosses threads
+                item = ("err", exc)
+            while not self._stop.is_set():
+                try:
+                    self._queue.put(item, timeout=_POLL)
+                    break
+                except queue.Full:
+                    continue
+            if item[0] == "err":
+                return
+
+    def get(self):
+        """The next read's result, in submission order."""
+        if self._next >= len(self._tasks):
+            raise PipelineError("read-ahead exhausted: more gets than tasks")
+        self._next += 1
+        if self._queue is None:
+            with self._clock.stage(READ_WAIT):
+                return self._tasks[self._next - 1]()
+        t0 = time.perf_counter()
+        try:
+            kind, value = self._queue.get(timeout=self._plan.timeout)
+        except queue.Empty:
+            raise PipelineError(
+                f"read-ahead timed out after {self._plan.timeout}s waiting "
+                f"for buffer {self._next - 1} of {len(self._tasks)} — "
+                f"the underlying read has stalled"
+            ) from None
+        finally:
+            self._clock.add(READ_WAIT, time.perf_counter() - t0)
+        if kind == "err":
+            raise value
+        return value
+
+    def close(self) -> None:
+        """Stop prefetching and join the worker. Idempotent, non-raising."""
+        self._stop.set()
+        if self._thread is None:
+            return
+        if self._queue is not None:
+            # Drain so a producer blocked on a full queue can observe the
+            # stop flag and exit.
+            try:
+                while True:
+                    self._queue.get_nowait()
+            except queue.Empty:
+                pass
+        self._thread.join(timeout=self._plan.timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ReadAhead":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Stop:
+    """Queue sentinel terminating a flusher worker."""
+
+
+_STOP = _Stop()
+
+
+class WriteBehind:
+    """Retire write tasks on a background thread, in submission order.
+
+    :meth:`put` enqueues a zero-argument callable (blocking only when
+    ``depth`` writes are already in flight); :meth:`drain` blocks until
+    everything submitted has retired and re-raises the first worker
+    error. After an error, the worker skips the backlog so shutdown
+    stays prompt, and every subsequent :meth:`put` re-raises the error
+    immediately.
+    """
+
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        clock: StageClock | None = None,
+        name: str = "write-behind",
+    ) -> None:
+        self._plan = plan
+        self._clock = clock if clock is not None else StageClock()
+        self._error: BaseException | None = None
+        self._pending = 0
+        self._cv = threading.Condition()
+        self._stop = threading.Event()
+        self._queue: queue.Queue | None = None
+        self._thread: threading.Thread | None = None
+        if plan.depth > 0:
+            self._queue = queue.Queue(maxsize=plan.depth)
+            self._thread = threading.Thread(
+                target=self._worker, name=f"pipeline-{name}", daemon=True
+            )
+            self._thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is _STOP:
+                return
+            if self._error is None and not self._stop.is_set():
+                try:
+                    task()
+                except BaseException as exc:  # noqa: BLE001 — crosses threads
+                    with self._cv:
+                        self._error = exc
+            with self._cv:
+                self._pending -= 1
+                self._cv.notify_all()
+
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            raise self._error
+
+    def put(self, task: Callable) -> None:
+        """Submit one write. Blocks while ``depth`` writes are in flight."""
+        if self._queue is None:
+            with self._clock.stage(WRITE_WAIT):
+                task()
+            return
+        self._raise_pending_error()
+        deadline = time.monotonic() + self._plan.timeout
+        t0 = time.perf_counter()
+        try:
+            with self._cv:
+                self._pending += 1
+            while True:
+                self._raise_pending_error()
+                try:
+                    self._queue.put(task, timeout=_POLL)
+                    return
+                except queue.Full:
+                    if time.monotonic() >= deadline:
+                        with self._cv:
+                            self._pending -= 1
+                        raise PipelineError(
+                            f"write-behind timed out after {self._plan.timeout}s "
+                            f"with {self._pending} writes in flight — the "
+                            f"underlying write has stalled"
+                        ) from None
+        finally:
+            self._clock.add(WRITE_WAIT, time.perf_counter() - t0)
+
+    def drain(self) -> None:
+        """Wait until every submitted write has retired; re-raise the
+        first worker error (as the original exception object)."""
+        if self._queue is not None:
+            deadline = time.monotonic() + self._plan.timeout
+            with self._clock.stage(WRITE_WAIT):
+                with self._cv:
+                    while self._pending > 0:
+                        if time.monotonic() >= deadline:
+                            raise PipelineError(
+                                f"write-behind drain timed out after "
+                                f"{self._plan.timeout}s with {self._pending} "
+                                f"writes still in flight"
+                            )
+                        self._cv.wait(_POLL)
+        self._raise_pending_error()
+
+    def close(self) -> None:
+        """Stop the worker and join it. Idempotent, never raises —
+        errors surface through :meth:`put`/:meth:`drain` only."""
+        if self._thread is None:
+            return
+        self._stop.set()  # worker skips tasks it has not started yet
+        deadline = time.monotonic() + self._plan.timeout
+        while True:
+            try:
+                self._queue.put(_STOP, timeout=_POLL)
+                break
+            except queue.Full:
+                if time.monotonic() >= deadline:
+                    break  # worker is stuck in a write; leave the daemon
+        self._thread.join(timeout=self._plan.timeout)
+        self._thread = None
+
+    def __enter__(self) -> "WriteBehind":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        try:
+            if exc_type is None:
+                self.drain()
+        finally:
+            self.close()

@@ -1,0 +1,67 @@
+"""Measured per-stage wall-time accounting for pipelined passes.
+
+The discrete-event simulator (:mod:`repro.simulate`) *predicts* where a
+pass's time goes; a :class:`StageClock` *measures* it on a live run.
+Each rank accumulates wall seconds into a handful of categories:
+
+============== ====================================================
+category       meaning
+============== ====================================================
+``read_wait``  blocked waiting for the next column buffer from disk
+``compute``    local NumPy work (sorts, reshapes, concatenations)
+``comm``       mailbox communication (sends, receives, collectives)
+``incore``     a distributed in-core sort (M-columnsort's sort
+               stage — local sorting and communication interleaved)
+``write_wait`` blocked handing a buffer to the write-behind flusher
+               or draining it at the end of the pass
+============== ====================================================
+
+With a synchronous plan (depth 0), ``read_wait``/``write_wait`` are the
+full disk read/write times; with a deeper pipeline they shrink toward
+zero as the buffer pools hide the I/O behind compute and communication.
+The totals end up in :attr:`repro.simulate.trace.PassTrace.wall`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+READ_WAIT = "read_wait"
+COMPUTE = "compute"
+COMM = "comm"
+INCORE = "incore"
+WRITE_WAIT = "write_wait"
+
+#: Categories in pipeline order (for stable table/report layouts).
+CATEGORIES = (READ_WAIT, COMPUTE, COMM, INCORE, WRITE_WAIT)
+
+
+class StageClock:
+    """Wall-time accumulator for one rank's trip through a pass.
+
+    Not thread-safe by design: only the rank's own thread records into
+    it (the buffer-pool threads are timed from the consumer side — what
+    matters is how long the rank *waited*, not how long the disk was
+    busy).
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+
+    def add(self, category: str, seconds: float) -> None:
+        self.totals[category] = self.totals.get(category, 0.0) + seconds
+
+    @contextmanager
+    def stage(self, category: str):
+        """Time a block of work under ``category``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(category, time.perf_counter() - t0)
+
+    def merge_into(self, wall: dict[str, float]) -> None:
+        """Accumulate this clock's totals into a trace's wall dict."""
+        for category, seconds in self.totals.items():
+            wall[category] = wall.get(category, 0.0) + seconds

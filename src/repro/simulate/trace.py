@@ -58,11 +58,18 @@ class RoundWork:
 @dataclass
 class PassTrace:
     """One pass: its pipeline shape and per-round work (for a single
-    processor — the algorithms are symmetric across processors)."""
+    processor — the algorithms are symmetric across processors).
+
+    ``wall`` holds *measured* seconds per stage category (``read_wait``
+    / ``compute`` / ``comm`` / ``incore`` / ``write_wait`` — see
+    :mod:`repro.pipeline.timing`) when the pass was executed by a live
+    rank program; analytic traces leave it empty.
+    """
 
     name: str
     stages: list[StageSpec]
     rounds: list[RoundWork] = field(default_factory=list)
+    wall: dict[str, float] = field(default_factory=dict)
 
     def total(self, kind: str) -> float:
         """Total work of all stages of a kind across all rounds."""
@@ -102,6 +109,15 @@ class RunTrace:
 
     def total(self, kind: str) -> float:
         return sum(p.total(kind) for p in self.passes)
+
+    def measured_wall(self) -> dict[str, float]:
+        """Measured per-stage wall seconds summed over passes (empty for
+        analytic traces — only live runs populate ``PassTrace.wall``)."""
+        total: dict[str, float] = {}
+        for pass_trace in self.passes:
+            for category, seconds in pass_trace.wall.items():
+                total[category] = total.get(category, 0.0) + seconds
+        return total
 
 
 # Pipeline shapes from the paper.

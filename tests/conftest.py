@@ -9,11 +9,42 @@ matrices at the exact edge of each height restriction.
 
 from __future__ import annotations
 
+import signal
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
 from repro.cluster.config import ClusterConfig
 from repro.records.format import RecordFormat
+
+
+@contextmanager
+def alarm_timeout(seconds: int, message: str = "test deadlocked"):
+    """Abort the enclosed block with ``TimeoutError`` after ``seconds``.
+
+    SIGALRM-based (pytest-timeout is not a dependency): the signal
+    interrupts the main thread even while it blocks joining SPMD worker
+    threads, which is exactly the hang mode the deadlock-regression
+    tests guard against. Unix-only, like the rest of the test matrix.
+    """
+
+    def _fire(signum, frame):
+        raise TimeoutError(f"{message} (alarm after {seconds}s)")
+
+    old_handler = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+@pytest.fixture
+def hard_timeout():
+    """The :func:`alarm_timeout` context manager, as a fixture."""
+    return alarm_timeout
 
 
 @pytest.fixture

@@ -1,6 +1,11 @@
 """Failure paths of full out-of-core runs: disk faults, disk-full, and
 misbehaving rank programs must surface as structured errors, never
-hangs or silent corruption."""
+hangs or silent corruption — including when the fault fires inside a
+read-ahead or write-behind pool thread rather than on the rank thread
+itself."""
+
+import threading
+import time
 
 import pytest
 
@@ -16,12 +21,25 @@ from repro.records.generators import generate
 FMT = RecordFormat("u8", 64)
 
 
-def setup_run(tmp_path, p=2, r=128, s=4):
+def setup_run(tmp_path, p=2, r=128, s=4, pipeline_depth=0):
     cluster = ClusterConfig(p=p, mem_per_proc=2**10)
     recs = generate("uniform", FMT, r * s, seed=1)
     ws = make_workspace(cluster, FMT, recs, r, s, workdir=tmp_path)
-    job = OocJob(cluster=cluster, fmt=FMT, n=r * s, buffer_records=r)
+    job = OocJob(cluster=cluster, fmt=FMT, n=r * s, buffer_records=r,
+                 pipeline_depth=pipeline_depth)
     return cluster, recs, ws, job
+
+
+def assert_no_new_threads(before: set, deadline_s: float = 5.0) -> None:
+    """All threads spawned since ``before`` must wind down (pool workers
+    join with a timeout, so poll rather than snapshot)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        extra = set(threading.enumerate()) - before
+        if not extra:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked threads: {set(threading.enumerate()) - before}")
 
 
 class TestDiskFaults:
@@ -73,6 +91,62 @@ class TestDiskFull:
         with pytest.raises(SpmdError) as exc_info:
             threaded_columnsort_ooc(job, store)
         assert isinstance(exc_info.value.cause, DiskFullError)
+
+
+class TestFaultsThroughPipelineThreads:
+    """The same injections as above, but with the pass pipeline enabled:
+    the fault fires inside a pool worker and must surface as the same
+    exception type, shut the SPMD world down, and leak no threads."""
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_read_fault_through_prefetcher(self, tmp_path, depth):
+        before = set(threading.enumerate())
+        cluster, recs, ws, job = setup_run(tmp_path, pipeline_depth=depth)
+        ws.disks[1].inject_fault("read")
+        with pytest.raises(SpmdError) as exc_info:
+            threaded_columnsort_ooc(job, ws.input)
+        assert isinstance(exc_info.value.cause, DiskError)
+        assert exc_info.value.rank == 1
+        assert_no_new_threads(before)
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_write_fault_through_flusher(self, tmp_path, depth):
+        before = set(threading.enumerate())
+        cluster, recs, ws, job = setup_run(tmp_path, pipeline_depth=depth)
+        ws.disks[0].inject_fault("write")
+        with pytest.raises(SpmdError) as exc_info:
+            threaded_columnsort_ooc(job, ws.input)
+        assert isinstance(exc_info.value.cause, DiskError)
+        assert_no_new_threads(before)
+
+    def test_disk_full_through_flusher(self, tmp_path):
+        from repro.disks.virtual_disk import VirtualDisk
+
+        before = set(threading.enumerate())
+        cluster = ClusterConfig(p=2, mem_per_proc=2**10)
+        r, s = 128, 4
+        recs = generate("uniform", FMT, r * s, seed=1)
+        disks = [
+            VirtualDisk(tmp_path / f"d{d}", disk_id=d,
+                        capacity_bytes=FMT.nbytes(r * s // 2) + 100)
+            for d in range(2)
+        ]
+        store = ColumnStore.from_records(cluster, FMT, recs, r, s, disks)
+        job = OocJob(cluster=cluster, fmt=FMT, n=r * s, buffer_records=r,
+                     pipeline_depth=2)
+        with pytest.raises(SpmdError) as exc_info:
+            threaded_columnsort_ooc(job, store)
+        assert isinstance(exc_info.value.cause, DiskFullError)
+        assert_no_new_threads(before)
+
+    def test_input_preserved_after_pipelined_failure(self, tmp_path):
+        import numpy as np
+
+        cluster, recs, ws, job = setup_run(tmp_path, pipeline_depth=2)
+        ws.disks[0].inject_fault("write")
+        with pytest.raises(SpmdError):
+            threaded_columnsort_ooc(job, ws.input)
+        assert np.array_equal(ws.input.to_records(), recs)
 
 
 class TestRankMisbehavior:

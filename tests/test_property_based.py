@@ -169,3 +169,49 @@ def test_out_of_core_sorts_random_configs(config, seed, workload):
     recs = generate(workload, fmt, n, seed=seed)
     res = sort_out_of_core(algorithm, recs, cluster, fmt, buffer_records=buf)
     assert res.passes in (3, 4)
+
+
+#: Small legal configs for the depth-equivalence property (one per
+#: algorithm family; the subblock/hybrid variants ride the same pools).
+PIPELINE_CONFIGS = [
+    ("threaded", 2, 32, 128),
+    ("subblock", 2, 32, 128),
+    ("m", 2, 32, 256),
+]
+
+
+@given(
+    config=st.sampled_from(PIPELINE_CONFIGS),
+    seed=st.integers(min_value=0, max_value=2**31),
+    key=st.sampled_from(["u8", "f8"]),
+    record_size=st.sampled_from([16, 32]),
+    depth=st.sampled_from([1, 2, 4]),
+    workload=st.sampled_from(["uniform", "duplicates", "all-equal"]),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_pipeline_depth_never_changes_output(
+    config, seed, key, record_size, depth, workload
+):
+    """The tentpole's core property: pipelining only reorders I/O in
+    time — the PDM output is byte-identical at any depth, for any
+    algorithm, shape, record format, and workload."""
+    import tempfile
+
+    from repro.cluster.config import ClusterConfig
+    from repro.records.generators import generate
+
+    algorithm, p, buf, n = config
+    fmt = RecordFormat(key, record_size)
+    cluster = ClusterConfig(p=p, mem_per_proc=max(buf, 2 * p * p))
+    recs = generate(workload, fmt, n, seed=seed)
+    with tempfile.TemporaryDirectory() as td:
+        blobs = []
+        for d in (0, depth):
+            res = sort_out_of_core(
+                algorithm, recs, cluster, fmt, buffer_records=buf,
+                workdir=f"{td}/depth{d}", verify=False, collect_trace=False,
+                pipeline_depth=d,
+            )
+            blobs.append(fmt.to_bytes(res.output.read_all()))
+    assert blobs[0] == blobs[1]
