@@ -1,0 +1,112 @@
+"""Zero-copy data plane: pooled vs legacy copy traffic and wall time.
+
+Runs the same out-of-core sort twice — once with ``REPRO_LEGACY_COPIES=1``
+(every seam copies: bytes → records on read, isolate-copy on send,
+records → bytes on write) and once on the pooled/view data plane — and
+compares:
+
+* ``bytes_copied`` (the deterministic gate: pooled must copy strictly
+  fewer bytes than legacy; CI fails the build otherwise);
+* wall-clock time (reported, not gated — too noisy on shared runners);
+* output bytes (must be identical between the two planes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_zerocopy.py --quick
+    PYTHONPATH=src python benchmarks/bench_zerocopy.py  # full matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.cluster.config import ClusterConfig
+from repro.membuf import get_pool
+from repro.oocs.api import sort_out_of_core
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+
+# (algorithm, n, buffer_records) — shapes small enough for CI but large
+# enough that the pool sees repeated lease/recycle cycles per pass.
+QUICK_CASES = [("threaded", 8192, 512)]
+FULL_CASES = [
+    ("threaded", 32768, 2048),
+    ("subblock", 65536, 4096),
+    ("m", 131072, 8192),
+    ("hybrid", 131072, 8192),
+]
+
+
+def run_case(algorithm: str, n: int, buffer_records: int, legacy: bool,
+             depth: int = 2) -> dict:
+    fmt = RecordFormat("u8", 64)
+    cluster = ClusterConfig(p=4, mem_per_proc=2**16)
+    records = generate("uniform", fmt, n, seed=7)
+    os.environ["REPRO_LEGACY_COPIES"] = "1" if legacy else "0"
+    try:
+        t0 = time.perf_counter()
+        result = sort_out_of_core(
+            algorithm, records, cluster, fmt,
+            buffer_records=buffer_records, pipeline_depth=depth,
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        os.environ.pop("REPRO_LEGACY_COPIES", None)
+    output = result.output.read_global(0, n).tobytes()
+    result.output.delete()
+    leaked = get_pool().outstanding()
+    return {
+        "copy": result.copy,
+        "wall": wall,
+        "output": output,
+        "leaked": leaked,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single small case (the CI perf-smoke gate)")
+    parser.add_argument("--depth", type=int, default=2,
+                        help="pipeline depth for both runs")
+    args = parser.parse_args(argv)
+
+    cases = QUICK_CASES if args.quick else FULL_CASES
+    failures = 0
+    for algorithm, n, buf in cases:
+        legacy = run_case(algorithm, n, buf, legacy=True, depth=args.depth)
+        pooled = run_case(algorithm, n, buf, legacy=False, depth=args.depth)
+        lc = legacy["copy"]["bytes_copied"]
+        pc = pooled["copy"]["bytes_copied"]
+        ratio = lc / pc if pc else float("inf")
+        ok = pc < lc and pooled["output"] == legacy["output"]
+        print(
+            f"{algorithm:>9} n={n:>7} buf={buf:>5}: "
+            f"legacy {lc:>12,} B copied ({legacy['wall'] * 1000:7.1f} ms)  "
+            f"pooled {pc:>12,} B copied ({pooled['wall'] * 1000:7.1f} ms)  "
+            f"{ratio:4.2f}x fewer copies  "
+            f"zero-copy {pooled['copy']['bytes_zero_copy']:,} B  "
+            f"[{'ok' if ok else 'FAIL'}]"
+        )
+        if pooled["output"] != legacy["output"]:
+            print(f"  FAIL: {algorithm} output differs between data planes")
+            failures += 1
+        if pc >= lc:
+            print(
+                f"  FAIL: pooled plane copied {pc:,} B ≥ legacy {lc:,} B "
+                f"— zero-copy regression"
+            )
+            failures += 1
+        for tag, res in (("legacy", legacy), ("pooled", pooled)):
+            if res["leaked"]:
+                print(f"  FAIL: {res['leaked']} pool lease(s) leaked "
+                      f"after {tag} run")
+                failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

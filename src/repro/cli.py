@@ -69,6 +69,22 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_copy_stats(result) -> None:
+    copy = result.copy or {}
+    moved = copy.get("bytes_copied", 0) + copy.get("bytes_zero_copy", 0)
+    frac = 100 * copy.get("bytes_copied", 0) / moved if moved else 0.0
+    print(
+        f"  copies: {copy.get('bytes_copied', 0):,} B copied / "
+        f"{copy.get('bytes_zero_copy', 0):,} B zero-copy "
+        f"({frac:.1f}% copied)"
+    )
+    print(
+        f"  pool: {copy.get('pool_hits', 0)} hits, "
+        f"{copy.get('pool_misses', 0)} misses, "
+        f"peak {copy.get('peak_leases', 0)} leases outstanding"
+    )
+
+
 def _cmd_sort(args: argparse.Namespace) -> int:
     from repro.oocs.api import sort_out_of_core
 
@@ -90,6 +106,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             f"  network: {result.comm_total['network_bytes']:,} B in "
             f"{result.comm_total['network_messages']} messages"
         )
+        if args.copy_stats:
+            _print_copy_stats(result)
         return 0
     result = sort_out_of_core(
         args.algorithm, records, cluster, fmt, buffer_records=args.buffer,
@@ -118,6 +136,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             if cat in wall
         )
         print(f"  stage wall (rank 0, {total * 1000:.1f} ms): {breakdown}")
+    if args.copy_stats:
+        _print_copy_stats(result)
     return 0
 
 
@@ -163,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipeline-depth", type=int, default=2,
         help="read-ahead/write-behind depth per pass (0 = synchronous); "
              "output is byte-identical at every depth",
+    )
+    srt.add_argument(
+        "--copy-stats", action="store_true",
+        help="print data-plane copy accounting (bytes copied vs zero-copy, "
+             "buffer-pool hit rate, peak leases)",
     )
     srt.add_argument(
         "--group-size", "-g", type=int, default=None,

@@ -30,13 +30,24 @@ import numpy as np
 from repro.cluster.mailbox import MailboxRouter
 from repro.cluster.stats import CommStats
 from repro.errors import CommError
+from repro.membuf import copy_stats, get_pool, legacy_copies
 
 
 def _isolate(payload: object) -> object:
     """Copy array payloads entering the fabric (no shared memory between
     simulated nodes). Non-array payloads are control-plane metadata and
-    are passed through; senders must not mutate them after sending."""
+    are passed through; senders must not mutate them after sending.
+
+    On the pooled path the copy lands in an *untracked* pool buffer
+    (``grab`` — ownership transfers to the receiver, which may keep it
+    indefinitely); the bytes duplicated are metered either way.
+    """
     if isinstance(payload, np.ndarray):
+        copy_stats().record_copy(payload.nbytes)
+        if payload.ndim == 1 and payload.size and not legacy_copies():
+            buf = get_pool().grab(payload.dtype, payload.shape[0])
+            np.copyto(buf, payload)
+            return buf
         return payload.copy()
     if isinstance(payload, (list, tuple)):
         return type(payload)(_isolate(x) for x in payload)
@@ -113,6 +124,12 @@ class Comm:
 
     def _coll_put_unmetered(self, dest: int, tag: tuple, op: str, payload) -> None:
         """Deliver without counting as a message (empty alltoallv slots)."""
+        self._router.put(self._rank, dest, tag, (op, payload))
+
+    def _coll_send_view(self, dest: int, tag: tuple, op: str, payload) -> None:
+        """Metered delivery of an *already isolated* payload — a disjoint
+        view of a fresh packed buffer — skipping the ``_isolate`` copy."""
+        self.stats.record_send(dest, payload, op)
         self._router.put(self._rank, dest, tag, (op, payload))
 
     def _coll_recv(self, source: int, tag: tuple, op: str) -> object:
@@ -198,21 +215,60 @@ class Comm:
 
         Empty arrays are still delivered (the receive side stays uniform)
         but are not metered: the paper counts *messages carrying records*
-        (§3 properties 1-3), so the stats must match that accounting."""
+        (§3 properties 1-3), so the stats must match that accounting.
+
+        Fast path (1-D arrays sharing one dtype, unless
+        ``REPRO_LEGACY_COPIES`` is set): all outgoing parts are packed
+        once into a single fresh contiguous buffer and each destination
+        receives a disjoint *view* of it — one copy total instead of one
+        ``_isolate`` copy per destination. The packed buffer is never
+        mutated by the sender and never pooled (receivers may hold their
+        views indefinitely), so MPI mutation semantics are preserved:
+        receivers can write into their slice without affecting anyone
+        else's.
+        """
         if len(arrays) != self._size:
             raise CommError(
                 f"alltoallv needs exactly {self._size} arrays, got {len(arrays)}"
             )
         tag = self._coll_tag()
-        for dest in range(self._size):
-            arr = arrays[dest]
-            if len(arr) == 0:
-                self._coll_put_unmetered(dest, tag, "alltoallv", arr.copy())
-                continue
-            self._coll_send(dest, tag, "alltoallv", arr)
+        packable = not legacy_copies() and all(
+            isinstance(a, np.ndarray)
+            and a.ndim == 1
+            and a.dtype == arrays[0].dtype
+            for a in arrays
+        )
+        if packable:
+            self._alltoallv_packed(arrays, tag)
+        else:
+            for dest in range(self._size):
+                arr = arrays[dest]
+                if len(arr) == 0:
+                    self._coll_put_unmetered(dest, tag, "alltoallv", arr.copy())
+                    continue
+                self._coll_send(dest, tag, "alltoallv", arr)
         return [
             self._coll_recv(source, tag, "alltoallv") for source in range(self._size)
         ]
+
+    def _alltoallv_packed(self, arrays: Sequence[np.ndarray], tag: tuple) -> None:
+        """Send side of the contiguous alltoallv fast path: one packed
+        buffer, one offset per destination, views out."""
+        total = sum(len(a) for a in arrays)
+        packed = np.empty(total, dtype=arrays[0].dtype)
+        offset = 0
+        for dest in range(self._size):
+            arr = arrays[dest]
+            n = len(arr)
+            if n == 0:
+                self._coll_put_unmetered(dest, tag, "alltoallv", arr.copy())
+                continue
+            part = packed[offset : offset + n]
+            np.copyto(part, arr)
+            offset += n
+            copy_stats().record_copy(part.nbytes)
+            copy_stats().record_zero_copy(part.nbytes)
+            self._coll_send_view(dest, tag, "alltoallv", part)
 
     def allreduce(self, value, op: Callable = None):
         """Combine one value per rank with ``op`` (default: sum) and
@@ -318,6 +374,11 @@ class _SubComm(Comm):
 
     def _coll_put_unmetered(self, dest: int, tag: tuple, op: str, payload) -> None:
         self._router.put(self._my_top, self._top_of(dest), tag, (op, payload))
+
+    def _coll_send_view(self, dest: int, tag: tuple, op: str, payload) -> None:
+        top_dest = self._top_of(dest)
+        self.stats.record_send(top_dest, payload, op)
+        self._router.put(self._my_top, top_dest, tag, (op, payload))
 
     def _coll_recv(self, source: int, tag: tuple, op: str) -> object:
         got_op, payload = self._router.get(

@@ -114,3 +114,17 @@ def combined(stats: list[CommStats]) -> dict:
         for key in total:
             total[key] += snap[key]
     return total
+
+
+def copy_totals() -> dict:
+    """Process-wide data-plane copy counters (see :mod:`repro.membuf`).
+
+    Communication volume and memory-copy volume are the two halves of the
+    data-movement story: ``CommStats`` meters what crosses ranks, this
+    meters what crosses buffers. The counters are cumulative for the
+    process; callers who want per-run deltas should snapshot before and
+    after (``run_spmd_metered`` does this for every algorithm run).
+    """
+    from repro.membuf import copy_stats
+
+    return copy_stats().snapshot()

@@ -29,6 +29,7 @@ from repro.cluster.config import ClusterConfig
 from repro.disks.pdm import split_range_by_disk, split_range_by_owner
 from repro.disks.virtual_disk import VirtualDisk
 from repro.errors import ConfigError, DiskError
+from repro.membuf import copy_stats, get_pool, legacy_copies
 from repro.records.format import RecordFormat
 
 
@@ -48,6 +49,48 @@ class _StoreBase:
         self.fmt = fmt
         self.disks = disks
         self.name = name
+
+    # -- data-plane seams ------------------------------------------------
+    #
+    # All store reads and writes funnel through these two helpers so the
+    # REPRO_LEGACY_COPIES switch flips the entire disk seam at once.
+
+    def _read_records(
+        self,
+        disk: VirtualDisk,
+        file: str,
+        offset_records: int,
+        n: int,
+        reuse: bool = False,
+    ) -> np.ndarray:
+        """Read ``n`` records at record offset ``offset_records``.
+
+        Zero-copy path: bytes land via ``readinto`` in a fresh array, or
+        — with ``reuse=True`` — in a tracked :class:`BufferPool` lease
+        the caller must eventually :meth:`~BufferPool.recycle`. Legacy
+        path: ``bytes`` round-trip plus ``frombuffer(...).copy()``.
+        """
+        nbytes = self.fmt.nbytes(n)
+        offset = self.fmt.nbytes(offset_records)
+        if legacy_copies():
+            return self.fmt.from_bytes(disk.read_at(file, offset, nbytes))
+        pool = get_pool() if reuse else None
+        out = pool.lease(self.fmt.dtype, n) if pool else self.fmt.empty(n)
+        try:
+            disk.read_at(file, offset, nbytes, out=out)
+        except BaseException:
+            if pool:
+                pool.recycle(out)
+            raise
+        copy_stats().record_zero_copy(nbytes)
+        return out
+
+    def _wire(self, records: np.ndarray) -> memoryview | bytes:
+        """On-disk bytes of ``records`` — a view of their memory on the
+        zero-copy path, a serialized copy on the legacy path."""
+        if legacy_copies():
+            return self.fmt.to_bytes(records)
+        return self.fmt.wire_view(records)
 
     def io_totals(self) -> dict:
         """Aggregate I/O across this store's disks (includes any other
@@ -116,13 +159,16 @@ class ColumnStore(_StoreBase):
             raise ConfigError(
                 f"column {j} must hold r={self.r} records, got {len(records)}"
             )
-        self.disk_for(j).write_at(self._file(j), 0, self.fmt.to_bytes(records))
+        self.disk_for(j).write_at(self._file(j), 0, self._wire(records))
 
-    def read_column(self, rank: int, j: int) -> np.ndarray:
-        """Read a full column."""
+    def read_column(self, rank: int, j: int, reuse: bool = False) -> np.ndarray:
+        """Read a full column. ``reuse=True`` returns a tracked
+        :class:`~repro.membuf.BufferPool` lease the caller must recycle
+        when the column's lifetime ends."""
         self._check_owner(rank, j)
-        data = self.disk_for(j).read_at(self._file(j), 0, self.fmt.nbytes(self.r))
-        return self.fmt.from_bytes(data)
+        return self._read_records(
+            self.disk_for(j), self._file(j), 0, self.r, reuse=reuse
+        )
 
     def write_segment(
         self, rank: int, j: int, row_offset: int, records: np.ndarray
@@ -138,7 +184,7 @@ class ColumnStore(_StoreBase):
         self.disk_for(j).write_at(
             self._file(j),
             self.fmt.nbytes(row_offset),
-            self.fmt.to_bytes(records),
+            self._wire(records),
         )
 
     def append_to_column(self, rank: int, j: int, records: np.ndarray) -> None:
@@ -247,16 +293,17 @@ class StripedColumnStore(_StoreBase):
                 f"portion must hold r/P={self.portion} records, got {len(records)}"
             )
         self._disk_for(j, rank).write_at(
-            self._file(j, rank), 0, self.fmt.to_bytes(records)
+            self._file(j, rank), 0, self._wire(records)
         )
 
-    def read_portion(self, rank: int, j: int) -> np.ndarray:
-        """Read rank's portion of column ``j``."""
+    def read_portion(self, rank: int, j: int, reuse: bool = False) -> np.ndarray:
+        """Read rank's portion of column ``j``. ``reuse=True`` returns a
+        tracked pool lease the caller must recycle."""
         self._check(rank, j)
-        data = self._disk_for(j, rank).read_at(
-            self._file(j, rank), 0, self.fmt.nbytes(self.portion)
+        return self._read_records(
+            self._disk_for(j, rank), self._file(j, rank), 0, self.portion,
+            reuse=reuse,
         )
-        return self.fmt.from_bytes(data)
 
     def write_portion_segment(
         self, rank: int, j: int, row_offset: int, records: np.ndarray
@@ -272,7 +319,7 @@ class StripedColumnStore(_StoreBase):
         self._disk_for(j, rank).write_at(
             self._file(j, rank),
             self.fmt.nbytes(row_offset),
-            self.fmt.to_bytes(records),
+            self._wire(records),
         )
 
     def append_to_portion(self, rank: int, j: int, records: np.ndarray) -> None:
@@ -420,12 +467,12 @@ class GroupColumnStore(_StoreBase):
 
     # -- portion I/O ------------------------------------------------------
 
-    def read_portion(self, rank: int, j: int) -> np.ndarray:
+    def read_portion(self, rank: int, j: int, reuse: bool = False) -> np.ndarray:
         member = self._check_access(rank, j)
-        data = self._disk_for(j, rank).read_at(
-            self._file(j, member), 0, self.fmt.nbytes(self.portion)
+        return self._read_records(
+            self._disk_for(j, rank), self._file(j, member), 0, self.portion,
+            reuse=reuse,
         )
-        return self.fmt.from_bytes(data)
 
     def write_portion(self, rank: int, j: int, records: np.ndarray) -> None:
         member = self._check_access(rank, j)
@@ -434,7 +481,7 @@ class GroupColumnStore(_StoreBase):
                 f"portion must hold r/g={self.portion} records, got {len(records)}"
             )
         self._disk_for(j, rank).write_at(
-            self._file(j, member), 0, self.fmt.to_bytes(records)
+            self._file(j, member), 0, self._wire(records)
         )
 
     def append_to_portion(self, rank: int, j: int, records: np.ndarray) -> None:
@@ -451,7 +498,7 @@ class GroupColumnStore(_StoreBase):
         self._disk_for(j, rank).write_at(
             self._file(j, member),
             self.fmt.nbytes(cursor),
-            self.fmt.to_bytes(records),
+            self._wire(records),
         )
 
     def reset_cursors(self) -> None:
@@ -550,20 +597,32 @@ class PdmStore(_StoreBase):
             self.disks[disk].write_at(
                 self._file(disk),
                 self.fmt.nbytes(offset),
-                self.fmt.to_bytes(records[rel : rel + n]),
+                self._wire(records[rel : rel + n]),
             )
 
     def read_global(self, start: int, count: int) -> np.ndarray:
         """Read ``[start, start+count)`` in global order (verification)."""
         self._check_range(start, count)
         out = self.fmt.empty(count)
+        legacy = legacy_copies()
         for disk, offset, rel, n in split_range_by_disk(
             start, count, self.block, self.cfg.virtual_disks
         ):
-            data = self.disks[disk].read_at(
-                self._file(disk), self.fmt.nbytes(offset), self.fmt.nbytes(n)
-            )
-            out[rel : rel + n] = self.fmt.from_bytes(data)
+            if legacy:
+                data = self.disks[disk].read_at(
+                    self._file(disk), self.fmt.nbytes(offset), self.fmt.nbytes(n)
+                )
+                out[rel : rel + n] = self.fmt.from_bytes(data)
+            else:
+                # A step-1 slice of a fresh array is C-contiguous, so the
+                # read lands in place — no staging buffer.
+                self.disks[disk].read_at(
+                    self._file(disk),
+                    self.fmt.nbytes(offset),
+                    self.fmt.nbytes(n),
+                    out=out[rel : rel + n],
+                )
+                copy_stats().record_zero_copy(self.fmt.nbytes(n))
         return out
 
     def read_all(self) -> np.ndarray:

@@ -99,17 +99,24 @@ class VirtualDisk:
 
     # ------------------------------------------------------------------
 
-    def write_at(self, name: str, offset: int, data: bytes) -> None:
-        """Write ``data`` at byte ``offset``, growing the file if needed."""
+    def write_at(
+        self, name: str, offset: int, data: bytes | bytearray | memoryview
+    ) -> None:
+        """Write ``data`` (any C-contiguous buffer — bytes, a memoryview
+        of a record array, ...) at byte ``offset``, growing the file if
+        needed."""
         if self.read_only:
             raise DiskError(f"disk {self.disk_id} is read-only")
         if offset < 0:
             raise DiskError(f"negative write offset {offset}")
         self._consume_fault("write")
         path = self._path(name)
+        # memoryview(data).nbytes, not len(data): len() of a structured-
+        # array view counts records, not bytes.
+        nbytes = memoryview(data).nbytes
         with self._lock:
             old_size = self._sizes.get(name, 0)
-            new_size = max(old_size, offset + len(data))
+            new_size = max(old_size, offset + nbytes)
             if self.capacity_bytes is not None:
                 grow = new_size - old_size
                 if grow > 0 and sum(self._sizes.values()) + grow > self.capacity_bytes:
@@ -126,17 +133,39 @@ class VirtualDisk:
                 fh.seek(offset)
                 fh.write(data)
             self._sizes[name] = new_size
-        self.stats.record_write(len(data))
+        self.stats.record_write(nbytes)
 
-    def read_at(self, name: str, offset: int, nbytes: int) -> bytes:
+    def read_at(
+        self, name: str, offset: int, nbytes: int, out: "object | None" = None
+    ) -> object:
         """Read exactly ``nbytes`` from byte ``offset``; raises
-        :class:`DiskError` on a short read."""
+        :class:`DiskError` on a short read.
+
+        With ``out`` (a writable buffer of exactly ``nbytes`` — e.g. a
+        pooled record array), bytes land directly in it via ``readinto``
+        and ``out`` itself is returned; otherwise a fresh ``bytes``."""
         if offset < 0 or nbytes < 0:
             raise DiskError(f"invalid read range ({offset}, {nbytes})")
         self._consume_fault("read")
         path = self._path(name)
         if not path.exists():
             raise DiskError(f"no object {name!r} on disk {self.disk_id}")
+        if out is not None:
+            mv = memoryview(out)
+            if mv.nbytes != nbytes:
+                raise DiskError(
+                    f"read buffer holds {mv.nbytes} bytes, wanted {nbytes}"
+                )
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                got = fh.readinto(mv)
+            if got != nbytes:
+                raise DiskError(
+                    f"short read of {name!r} on disk {self.disk_id}: wanted "
+                    f"{nbytes} bytes at offset {offset}, got {got}"
+                )
+            self.stats.record_read(nbytes)
+            return out
         with open(path, "rb") as fh:
             fh.seek(offset)
             data = fh.read(nbytes)

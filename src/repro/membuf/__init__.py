@@ -1,0 +1,28 @@
+"""Zero-copy data plane: pooled record buffers and copy accounting.
+
+``membuf`` is the memory-side counterpart of ``repro.disks``: the disks
+package meters bytes crossing the (simulated) platters, this package
+pools the in-memory record buffers those bytes land in and meters how
+often the data plane duplicates them. See DESIGN §7 for the ownership
+rules at each seam and the ``REPRO_LEGACY_COPIES`` escape hatch.
+"""
+
+from repro.membuf.copystats import (
+    COPY_KEYS,
+    CopyStats,
+    copy_delta,
+    copy_stats,
+    legacy_copies,
+)
+from repro.membuf.pool import MAX_FREE_PER_KEY, BufferPool, get_pool
+
+__all__ = [
+    "BufferPool",
+    "CopyStats",
+    "COPY_KEYS",
+    "MAX_FREE_PER_KEY",
+    "copy_delta",
+    "copy_stats",
+    "get_pool",
+    "legacy_copies",
+]

@@ -1,0 +1,131 @@
+"""Data-plane copy accounting.
+
+The paper's headline observation is that out-of-core columnsort is
+I/O- and memory-bandwidth-bound — execution time tracks GB moved per
+processor — so every redundant in-memory copy of a record batch is
+directly visible in the wall clock. :class:`CopyStats` meters the data
+plane's seams the same way :class:`~repro.disks.iostats.IoStats` meters
+the disks:
+
+* ``bytes_copied`` — bytes that were physically duplicated in memory
+  (``ndarray.copy()``, ``tobytes()``, ``frombuffer(...).copy()``,
+  packing scattered parts into a contiguous send buffer);
+* ``bytes_zero_copy`` — bytes that crossed a seam *without* a Python
+  level duplication (``readinto`` a pooled array, writing a column from
+  a memoryview, handing an ``alltoallv`` receiver a view of the packed
+  send buffer);
+* ``pool_hits`` / ``pool_misses`` — :class:`~repro.membuf.pool.BufferPool`
+  reuse vs. fresh allocation;
+* ``leases`` / ``lease_returns`` / ``peak_leases`` — tracked buffer
+  leases issued, returned, and the high-water mark of concurrently
+  outstanding leases.
+
+One global instance (:func:`copy_stats`) serves the whole process; runs
+meter themselves with the same snapshot/delta pattern the disk and comm
+counters use. The ``REPRO_LEGACY_COPIES=1`` environment switch
+(:func:`legacy_copies`) selects the pre-pool copy-everything paths for
+A/B benchmarking; both paths are metered, so the benchmark can report
+the byte difference exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+#: Snapshot keys, in report order. ``peak_leases`` is a high-water mark,
+#: not a counter — see :func:`copy_delta`.
+COPY_KEYS = (
+    "bytes_copied",
+    "bytes_zero_copy",
+    "pool_hits",
+    "pool_misses",
+    "leases",
+    "lease_returns",
+    "peak_leases",
+)
+
+
+def legacy_copies() -> bool:
+    """Whether ``REPRO_LEGACY_COPIES`` selects the pre-pool data plane
+    (every seam copies, nothing is pooled). Read per call so tests and
+    the A/B benchmark can flip it without re-importing."""
+    return os.environ.get("REPRO_LEGACY_COPIES", "0") not in ("", "0")
+
+
+@dataclass
+class CopyStats:
+    """Running data-plane totals for the whole process (all ranks — the
+    simulated cluster shares one address space, so one meter sees every
+    seam)."""
+
+    bytes_copied: int = 0
+    bytes_zero_copy: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    leases: int = 0
+    lease_returns: int = 0
+    peak_leases: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_copy(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_copied += int(nbytes)
+
+    def record_zero_copy(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_zero_copy += int(nbytes)
+
+    def record_pool(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.pool_hits += 1
+            else:
+                self.pool_misses += 1
+
+    def record_lease(self, outstanding: int) -> None:
+        """A tracked lease was issued; ``outstanding`` is the concurrent
+        lease count including it."""
+        with self._lock:
+            self.leases += 1
+            if outstanding > self.peak_leases:
+                self.peak_leases = outstanding
+
+    def record_return(self) -> None:
+        with self._lock:
+            self.lease_returns += 1
+
+    def rebase_peak(self, outstanding: int = 0) -> None:
+        """Reset the high-water mark to the current outstanding count so
+        a following :func:`copy_delta` reports this run's peak, not the
+        process's."""
+        with self._lock:
+            self.peak_leases = outstanding
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {key: getattr(self, key) for key in COPY_KEYS}
+
+    def reset(self) -> None:
+        with self._lock:
+            for key in COPY_KEYS:
+                setattr(self, key, 0)
+
+
+def copy_delta(before: dict, after: dict) -> dict:
+    """Per-run view of two :meth:`CopyStats.snapshot` dicts: counters are
+    differenced; ``peak_leases`` (a high-water mark) is taken from
+    ``after`` — pair with :meth:`CopyStats.rebase_peak` for a per-run
+    peak."""
+    out = {key: after[key] - before[key] for key in COPY_KEYS}
+    out["peak_leases"] = after["peak_leases"]
+    return out
+
+
+_GLOBAL = CopyStats()
+
+
+def copy_stats() -> CopyStats:
+    """The process-wide data-plane meter."""
+    return _GLOBAL

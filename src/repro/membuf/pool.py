@@ -1,0 +1,147 @@
+"""Reusable record-buffer pool.
+
+Every pass of every out-of-core algorithm allocates the same handful of
+array shapes over and over: one column (``buffer_records`` rows) per
+read, one packed send buffer per ``alltoallv``, one staging array per
+write. :class:`BufferPool` keeps freelists of those arrays keyed by
+``(dtype, rows)`` so steady-state passes stop churning the allocator
+and reads can land via ``readinto`` in place of ``bytes`` round-trips.
+
+Two acquisition modes:
+
+* :meth:`BufferPool.lease` — *tracked*: the pool holds a strong
+  reference until :meth:`BufferPool.recycle` returns the array.
+  Used by pass bodies whose buffer lifetime ends inside the pass
+  (read → sort → send/write → recycle); :meth:`outstanding` exposes
+  the balance so the test suite can assert nothing is held past a
+  pass's end.
+* :meth:`BufferPool.grab` — *untracked*: ownership transfers to the
+  caller (e.g. ``Comm._isolate`` handing an array to a receiver that
+  may keep it indefinitely). Untracked arrays re-enter the pool only
+  if someone explicitly recycles them; otherwise the garbage collector
+  reclaims them as before.
+
+:meth:`recycle` adopts any 1-D, C-contiguous, exclusively-owned array
+of a pooled dtype — recycling a *view* (a slice of a packed alltoallv
+buffer, say) is deliberately a no-op, because handing out a buffer that
+aliases live data would corrupt records in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.membuf.copystats import copy_stats
+
+#: Freelist depth per (dtype, rows) key. Deep enough for one in-flight
+#: buffer per pipeline slot at the depths we benchmark; beyond that the
+#: allocator is cheaper than hoarding memory.
+MAX_FREE_PER_KEY = 8
+
+
+class BufferPool:
+    """Thread-safe freelist of dtyped record arrays keyed by
+    ``(dtype, rows)``."""
+
+    def __init__(self, max_free_per_key: int = MAX_FREE_PER_KEY) -> None:
+        self._max_free = int(max_free_per_key)
+        self._free: dict[tuple[np.dtype, int], list[np.ndarray]] = {}
+        # Strong references to tracked leases, keyed by id(). The strong
+        # reference is what makes id() safe as a key: the array cannot
+        # be collected (and its id reused) while the lease is open.
+        self._tracked: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    # -- acquisition ---------------------------------------------------
+
+    def _take(self, dtype: np.dtype, rows: int) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        key = (dtype, int(rows))
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                arr = stack.pop()
+                copy_stats().record_pool(hit=True)
+                return arr
+        copy_stats().record_pool(hit=False)
+        return np.empty(int(rows), dtype=dtype)
+
+    def lease(self, dtype: np.dtype, rows: int) -> np.ndarray:
+        """Acquire a tracked ``rows``-long array of ``dtype``; pair with
+        :meth:`recycle`."""
+        arr = self._take(dtype, rows)
+        with self._lock:
+            self._tracked[id(arr)] = arr
+            outstanding = len(self._tracked)
+        copy_stats().record_lease(outstanding)
+        return arr
+
+    def grab(self, dtype: np.dtype, rows: int) -> np.ndarray:
+        """Acquire an untracked array — ownership transfers to the
+        caller; the pool forgets it unless it is later recycled."""
+        return self._take(dtype, rows)
+
+    # -- release -------------------------------------------------------
+
+    def recycle(self, arr: np.ndarray) -> bool:
+        """Return ``arr`` to the pool. Closes its lease if tracked;
+        adopts untracked arrays that exclusively own their memory.
+        Views and foreign objects are ignored (returns False)."""
+        if not isinstance(arr, np.ndarray):
+            return False
+        with self._lock:
+            tracked = self._tracked.pop(id(arr), None) is not None
+        if tracked:
+            copy_stats().record_return()
+        if arr.ndim != 1 or not arr.flags.c_contiguous or not arr.flags.owndata:
+            # A view's memory belongs to someone else; pooling it would
+            # alias live records. Dropping it here is correct: the lease
+            # (if any) is closed and GC handles the base buffer.
+            return False
+        key = (arr.dtype, arr.shape[0])
+        with self._lock:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self._max_free:
+                stack.append(arr)
+        return True
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Number of tracked leases not yet recycled."""
+        with self._lock:
+            return len(self._tracked)
+
+    def forget_leases(self) -> int:
+        """Drop all tracked leases without pooling them (crash cleanup:
+        a failed rank cannot recycle its in-flight buffers). Returns the
+        number forgotten."""
+        with self._lock:
+            n = len(self._tracked)
+            self._tracked.clear()
+        for _ in range(n):
+            copy_stats().record_return()
+        return n
+
+    def free_buffers(self) -> int:
+        """Total arrays currently sitting in freelists."""
+        with self._lock:
+            return sum(len(stack) for stack in self._free.values())
+
+    def clear(self) -> int:
+        """Empty the freelists and forget every tracked lease; returns
+        the number of leases that were still outstanding."""
+        with self._lock:
+            self._free.clear()
+        return self.forget_leases()
+
+
+_GLOBAL = BufferPool()
+
+
+def get_pool() -> BufferPool:
+    """The process-wide buffer pool (all simulated ranks share one
+    address space, so they share one pool)."""
+    return _GLOBAL

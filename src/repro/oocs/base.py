@@ -43,10 +43,12 @@ import numpy as np
 
 from repro.cluster.comm import Comm
 from repro.cluster.config import ClusterConfig
+from repro.cluster.spmd import run_spmd
 from repro.disks.matrixfile import ColumnStore, PdmStore
 from repro.disks.virtual_disk import VirtualDisk, make_disk_array
 from repro.errors import ConfigError
 from repro.matrix.bits import is_power_of_two
+from repro.membuf import copy_delta, copy_stats, get_pool, legacy_copies
 from repro.pipeline import (
     COMM,
     COMPUTE,
@@ -153,6 +155,7 @@ class OocResult:
     io_per_pass: list[dict]  # one {reads, writes, ...} delta per pass
     comm_per_pass: list[dict]  # rank-0 comm deltas per pass
     comm_total: dict  # aggregate across ranks
+    copy: dict = field(default_factory=dict)  # data-plane copy accounting
     trace: RunTrace | None = None
     workspace: object = None  # set by the convenience API to pin disks alive
 
@@ -228,12 +231,40 @@ def make_workspace(
 # default SYNCHRONOUS plan both pools degenerate to inline calls.
 
 
+def _recycle(buf: np.ndarray) -> None:
+    """Return a pass buffer to the global pool — a no-op under
+    ``REPRO_LEGACY_COPIES`` so the legacy path never touches the pool."""
+    if not legacy_copies():
+        get_pool().recycle(buf)
+
+
+def _task_then_recycle(task, buf: np.ndarray):
+    """Wrap a write task so ``buf`` (a pool lease kept alive until the
+    write retires) is recycled afterwards, even on error."""
+    def run():
+        try:
+            task()
+        finally:
+            _recycle(buf)
+    return run
+
+
 def _column_prefetch(
     src: ColumnStore, rank: int, cols, plan: PipelinePlan, clock: StageClock
 ) -> ReadAhead:
-    """Read-ahead over whole owned columns (threaded/subblock layout)."""
+    """Read-ahead over whole owned columns (threaded/subblock layout).
+
+    On the pooled path every prefetched column is a tracked
+    :class:`~repro.membuf.BufferPool` lease; the pass body recycles it
+    as soon as the sorted permutation is materialized, and the reader
+    recycles anything prefetched but never consumed (``on_drop``).
+    """
+    reuse = not legacy_copies()
     return ReadAhead(
-        [partial(src.read_column, rank, c) for c in cols], plan, clock
+        [partial(src.read_column, rank, c, reuse=reuse) for c in cols],
+        plan,
+        clock,
+        on_drop=get_pool().recycle if reuse else None,
     )
 
 
@@ -270,9 +301,10 @@ def pass_step2_deal(
     writer = WriteBehind(plan, clock)
     try:
         for t in range(s // p):
-            col = reader.get()
+            raw = reader.get()
             with clock.stage(COMPUTE):
-                col = col[np.argsort(col["key"], kind="stable")]
+                col = raw[np.argsort(raw["key"], kind="stable")]
+                _recycle(raw)  # the unsorted lease is dead after the gather
                 # Sorted row i goes to target column i mod s, rank i mod P.
                 parts = [col[q::p] for q in range(p)]
             with clock.stage(COMM):
@@ -328,9 +360,10 @@ def pass_step4_deal(
     writer = WriteBehind(plan, clock)
     try:
         for t in range(s // p):
-            col = reader.get()
+            raw = reader.get()
             with clock.stage(COMPUTE):
-                col = col[np.argsort(col["key"], kind="stable")]
+                col = raw[np.argsort(raw["key"], kind="stable")]
+                _recycle(raw)
                 chunks = col.reshape(s, chunk)
                 parts = [chunks[q::p].reshape(-1) for q in range(p)]
             with clock.stage(COMM):
@@ -426,9 +459,10 @@ def pass_final_windows(
     try:
         for t in range(rounds):
             c = t * p + comm.rank
-            col = reader.get()
+            raw = reader.get()
             with clock.stage(COMPUTE):
-                col = col[np.argsort(col["key"], kind="stable")]  # step 5
+                col = raw[np.argsort(raw["key"], kind="stable")]  # step 5
+                _recycle(raw)
             with clock.stage(COMM):
                 # First communicate: bottom half → owner of window c+1.
                 comm.send(col[half:], right, tag=WINDOW_TAG)
@@ -439,6 +473,11 @@ def pass_final_windows(
             with clock.stage(COMPUTE):
                 merged = np.concatenate([upper, col[:half]])
                 window = merged[np.argsort(merged["key"], kind="stable")]  # step 7
+                # col/upper/merged are dead; adopting them feeds the
+                # grabs of the next round's half-column sends.
+                _recycle(col)
+                _recycle(upper)
+                _recycle(merged)
                 if c == 0:
                     window = window[half:]  # drop the −∞ padding (step 8)
             route_and_write(t, window, extra=False)
@@ -481,7 +520,13 @@ def pass_io_only(
         for t in range(s // p):
             c = t * p + comm.rank
             col = reader.get()
-            writer.put(partial(dst.write_column, comm.rank, c, col))
+            # The lease stays with the write until it retires (ownership
+            # rule: nobody may reuse a buffer with a write in flight).
+            writer.put(
+                _task_then_recycle(
+                    partial(dst.write_column, comm.rank, c, col), col
+                )
+            )
             if trace is not None:
                 trace.rounds.append(io_round_work(fmt.record_size, r))
         writer.drain()
@@ -494,6 +539,29 @@ def pass_io_only(
 # ---------------------------------------------------------------------------
 # Run orchestration
 # ---------------------------------------------------------------------------
+
+
+def run_spmd_metered(size: int, program, *args, **kwargs):
+    """:func:`run_spmd` plus this run's data-plane copy accounting.
+
+    Returns ``(SpmdResult, copy)`` where ``copy`` is a
+    :data:`~repro.membuf.COPY_KEYS` delta dict covering exactly the SPMD
+    section (``peak_leases`` is rebased, so it is this run's high-water
+    mark). If the world dies mid-pass, buffers leased by the failed
+    ranks can never be recycled by their pass bodies — the leases are
+    forgotten here so a failure-injection test does not read as a leak.
+    """
+    stats = copy_stats()
+    pool = get_pool()
+    stats.rebase_peak(pool.outstanding())
+    before = stats.snapshot()
+    try:
+        res = run_spmd(size, program, *args, **kwargs)
+    except BaseException:
+        pool.forget_leases()
+        raise
+    return res, copy_delta(before, stats.snapshot())
+
 
 class PassMarker:
     """Synchronized per-pass accounting inside a rank program.

@@ -10,12 +10,17 @@ buffer 2^25 sat just barely above the 3-pass baseline.
 from __future__ import annotations
 
 from repro.cluster.comm import Comm
-from repro.cluster.spmd import run_spmd
 from repro.cluster.stats import combined
 from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import ColumnStore
 from repro.errors import ConfigError
-from repro.oocs.base import OocJob, OocResult, new_pass_trace, pass_io_only
+from repro.oocs.base import (
+    OocJob,
+    OocResult,
+    new_pass_trace,
+    pass_io_only,
+    run_spmd_metered,
+)
 from repro.simulate.trace import RunTrace
 
 
@@ -52,7 +57,9 @@ def baseline_io_passes(
         for k in range(passes)
     ]
     io_before = IoStats.combine([d.stats for d in disks])
-    res = run_spmd(cluster.p, _rank_program, job, stores, passes, collect_trace)
+    res, copy = run_spmd_metered(
+        cluster.p, _rank_program, job, stores, passes, collect_trace
+    )
     io_after = IoStats.combine([d.stats for d in disks])
     trace = None
     if collect_trace:
@@ -75,5 +82,6 @@ def baseline_io_passes(
         io_per_pass=[],
         comm_per_pass=[],
         comm_total=combined(res.stats),
+        copy=copy,
         trace=trace,
     )

@@ -34,13 +34,12 @@ import numpy as np
 
 from repro.bounds.restrictions import max_pow2_n
 from repro.cluster.comm import Comm
-from repro.cluster.spmd import run_spmd
 from repro.cluster.stats import combined
 from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import GroupColumnStore, PdmStore
 from repro.errors import ConfigError, DimensionError
 from repro.matrix.bits import is_power_of_two
-from repro.oocs.base import OocJob, OocResult, PassMarker
+from repro.oocs.base import OocJob, OocResult, PassMarker, run_spmd_metered
 from repro.oocs.incore.columnsort_dist import distributed_columnsort
 from repro.records.format import RecordFormat
 
@@ -349,7 +348,7 @@ def g_columnsort_ooc(
     }
 
     io_before = IoStats.combine([d.stats for d in disks])
-    res = run_spmd(cluster.p, _rank_program, job, stores, g)
+    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, g)
     io_after = IoStats.combine([d.stats for d in disks])
 
     stores["t1"].delete()
@@ -364,6 +363,7 @@ def g_columnsort_ooc(
         io_per_pass=rank0["io_per_pass"],
         comm_per_pass=rank0["comm_per_pass"],
         comm_total=combined(res.stats),
+        copy=copy,
         trace=None,
     )
 

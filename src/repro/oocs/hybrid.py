@@ -27,13 +27,19 @@ from functools import partial
 import numpy as np
 
 from repro.cluster.comm import Comm
-from repro.cluster.spmd import run_spmd
 from repro.cluster.stats import combined
 from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import PdmStore, StripedColumnStore
 from repro.errors import ConfigError, DimensionError
 from repro.matrix.bits import is_power_of_four, sqrt_pow4
-from repro.oocs.base import OocJob, OocResult, PassMarker, _finish_pass
+from repro.oocs.base import (
+    OocJob,
+    OocResult,
+    PassMarker,
+    _finish_pass,
+    _recycle,
+    run_spmd_metered,
+)
 from repro.oocs.incore.columnsort_dist import distributed_columnsort
 from repro.oocs.mcolumnsort import _pass1_m, _pass2_m, _pass3_m, _portion_prefetch
 from repro.pipeline import (
@@ -107,6 +113,7 @@ def _pass_subblock_m(
             local = reader.get()
             with clock.stage(INCORE):
                 mine = distributed_columnsort(comm, local, fmt)  # step 3
+                _recycle(local)
             with clock.stage(COMPUTE):
                 c0 = c % t
                 base = comm.rank * portion
@@ -190,7 +197,7 @@ def hybrid_columnsort_ooc(
     }
 
     io_before = IoStats.combine([d.stats for d in disks])
-    res = run_spmd(cluster.p, _rank_program, job, stores, collect_trace)
+    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
     io_after = IoStats.combine([d.stats for d in disks])
 
     rank0 = res.returns[0]
@@ -217,5 +224,6 @@ def hybrid_columnsort_ooc(
         io_per_pass=rank0["io_per_pass"],
         comm_per_pass=rank0["comm_per_pass"],
         comm_total=combined(res.stats),
+        copy=copy,
         trace=run_trace,
     )

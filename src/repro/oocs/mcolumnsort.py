@@ -28,12 +28,19 @@ from functools import partial
 import numpy as np
 
 from repro.cluster.comm import Comm
-from repro.cluster.spmd import run_spmd
 from repro.cluster.stats import combined
 from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import PdmStore, StripedColumnStore
 from repro.errors import ConfigError, DimensionError
-from repro.oocs.base import OocJob, OocResult, PassMarker, _finish_pass
+from repro.membuf import get_pool, legacy_copies
+from repro.oocs.base import (
+    OocJob,
+    OocResult,
+    PassMarker,
+    _finish_pass,
+    _recycle,
+    run_spmd_metered,
+)
 from repro.oocs.incore.columnsort_dist import distributed_columnsort
 from repro.oocs.incore.common import Ranges
 from repro.pipeline import (
@@ -97,9 +104,14 @@ def derive_shape(job: OocJob) -> tuple[int, int]:
 def _portion_prefetch(
     src: StripedColumnStore, rank: int, plan: PipelinePlan, clock: StageClock
 ) -> ReadAhead:
-    """Read-ahead over this rank's portions of columns 0..s-1."""
+    """Read-ahead over this rank's portions of columns 0..s-1 (pooled
+    leases on the zero-copy path; see ``_column_prefetch``)."""
+    reuse = not legacy_copies()
     return ReadAhead(
-        [partial(src.read_portion, rank, c) for c in range(src.s)], plan, clock
+        [partial(src.read_portion, rank, c, reuse=reuse) for c in range(src.s)],
+        plan,
+        clock,
+        on_drop=get_pool().recycle if reuse else None,
     )
 
 
@@ -127,6 +139,7 @@ def _pass1_m(
             local = reader.get()
             with clock.stage(INCORE):
                 mine = distributed_columnsort(comm, local, fmt)
+                _recycle(local)  # the unsorted portion is dead
             with clock.stage(COMPUTE):
                 base = comm.rank * portion
                 cols = (base + np.arange(portion)) % s
@@ -181,6 +194,7 @@ def _pass2_m(
             local = reader.get()
             with clock.stage(INCORE):
                 mine = distributed_columnsort(comm, local, fmt, target_ranges=ranges)
+                _recycle(local)
             for m in range(s):
                 writer.put(
                     partial(
@@ -279,6 +293,7 @@ def _pass3_m(
             local = reader.get()
             with clock.stage(INCORE):
                 mine = distributed_columnsort(comm, local, fmt)  # step 5
+                _recycle(local)
             if c == 0:
                 # Window 0: −∞ padding + top(col 0) → its kept half is just
                 # the sorted top half, final ranks [0, M/2).
@@ -394,7 +409,7 @@ def m_columnsort_ooc(
     }
 
     io_before = IoStats.combine([d.stats for d in disks])
-    res = run_spmd(cluster.p, _rank_program, job, stores, collect_trace)
+    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
     io_after = IoStats.combine([d.stats for d in disks])
 
     rank0 = res.returns[0]
@@ -421,5 +436,6 @@ def m_columnsort_ooc(
         io_per_pass=rank0["io_per_pass"],
         comm_per_pass=rank0["comm_per_pass"],
         comm_total=combined(res.stats),
+        copy=copy,
         trace=run_trace,
     )

@@ -28,7 +28,6 @@ from functools import partial
 import numpy as np
 
 from repro.cluster.comm import Comm
-from repro.cluster.spmd import run_spmd
 from repro.cluster.stats import combined
 from repro.columnsort.validation import validate_subblock
 from repro.disks.iostats import IoStats
@@ -41,10 +40,12 @@ from repro.oocs.base import (
     PassMarker,
     _column_prefetch,
     _finish_pass,
+    _recycle,
     new_pass_trace,
     pass_final_windows,
     pass_step2_deal,
     pass_step4_deal,
+    run_spmd_metered,
 )
 from repro.pipeline import COMM, COMPUTE, SYNCHRONOUS, StageClock, WriteBehind
 from repro.simulate.trace import RunTrace
@@ -127,9 +128,10 @@ def pass_subblock(
     try:
         for rnd in range(s // p):
             c = rnd * p + comm.rank
-            col = reader.get()
+            raw = reader.get()
             with clock.stage(COMPUTE):
-                col = col[np.argsort(col["key"], kind="stable")]  # step 3
+                col = raw[np.argsort(raw["key"], kind="stable")]  # step 3
+                _recycle(raw)
                 classes = col.reshape(group, t)  # col x = rows i ≡ x (mod √s)
                 routing = subblock_round_routing(c, r, s, p)
                 parts = []
@@ -224,7 +226,7 @@ def subblock_columnsort_ooc(
     }
 
     io_before = IoStats.combine([d.stats for d in disks])
-    res = run_spmd(cluster.p, _rank_program, job, stores, collect_trace)
+    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
     io_after = IoStats.combine([d.stats for d in disks])
 
     rank0 = res.returns[0]
@@ -251,5 +253,6 @@ def subblock_columnsort_ooc(
         io_per_pass=rank0["io_per_pass"],
         comm_per_pass=rank0["comm_per_pass"],
         comm_total=combined(res.stats),
+        copy=copy,
         trace=run_trace,
     )

@@ -11,7 +11,6 @@ yields the problem-size restriction (1):
 from __future__ import annotations
 
 from repro.cluster.comm import Comm
-from repro.cluster.spmd import run_spmd
 from repro.cluster.stats import combined
 from repro.columnsort.validation import validate_basic
 from repro.disks.iostats import IoStats
@@ -25,6 +24,7 @@ from repro.oocs.base import (
     pass_final_windows,
     pass_step2_deal,
     pass_step4_deal,
+    run_spmd_metered,
 )
 from repro.simulate.trace import RunTrace
 
@@ -105,7 +105,7 @@ def threaded_columnsort_ooc(
     }
 
     io_before = IoStats.combine([d.stats for d in disks])
-    res = run_spmd(cluster.p, _rank_program, job, stores, collect_trace)
+    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
     io_after = IoStats.combine([d.stats for d in disks])
 
     rank0 = res.returns[0]
@@ -132,5 +132,6 @@ def threaded_columnsort_ooc(
         io_per_pass=rank0["io_per_pass"],
         comm_per_pass=rank0["comm_per_pass"],
         comm_total=combined(res.stats),
+        copy=copy,
         trace=run_trace,
     )

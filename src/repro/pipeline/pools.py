@@ -90,9 +90,11 @@ class ReadAhead:
         plan: PipelinePlan,
         clock: StageClock | None = None,
         name: str = "read-ahead",
+        on_drop: Callable | None = None,
     ) -> None:
         self._tasks = list(tasks)
         self._plan = plan
+        self._on_drop = on_drop
         self._clock = clock if clock is not None else StageClock()
         self._next = 0
         self._stop = threading.Event()
@@ -113,12 +115,21 @@ class ReadAhead:
                 item = ("ok", task())
             except BaseException as exc:  # noqa: BLE001 — crosses threads
                 item = ("err", exc)
+            delivered = False
             while not self._stop.is_set():
                 try:
                     self._queue.put(item, timeout=_POLL)
+                    delivered = True
                     break
                 except queue.Full:
                     continue
+            if not delivered and item[0] == "ok" and self._on_drop is not None:
+                # Stopped with a value in hand: release it (e.g. recycle
+                # a pool lease) rather than stranding it.
+                try:
+                    self._on_drop(item[1])
+                except Exception:
+                    pass
             if item[0] == "err":
                 return
 
@@ -152,14 +163,34 @@ class ReadAhead:
             return
         if self._queue is not None:
             # Drain so a producer blocked on a full queue can observe the
-            # stop flag and exit.
+            # stop flag and exit. Prefetched-but-unconsumed values are
+            # handed to on_drop (e.g. BufferPool.recycle) so an early
+            # close cannot strand pool leases.
             try:
                 while True:
-                    self._queue.get_nowait()
+                    kind, value = self._queue.get_nowait()
+                    if kind == "ok" and self._on_drop is not None:
+                        try:
+                            self._on_drop(value)
+                        except Exception:
+                            pass
             except queue.Empty:
                 pass
         self._thread.join(timeout=self._plan.timeout)
         self._thread = None
+        if self._queue is not None:
+            # A producer already inside put() when stop was set may have
+            # landed one more item; sweep again now that it has exited.
+            try:
+                while True:
+                    kind, value = self._queue.get_nowait()
+                    if kind == "ok" and self._on_drop is not None:
+                        try:
+                            self._on_drop(value)
+                        except Exception:
+                            pass
+            except queue.Empty:
+                pass
 
     def __enter__(self) -> "ReadAhead":
         return self

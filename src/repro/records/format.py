@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.membuf.copystats import copy_stats
 from repro.records.keys import KeyInfo, key_info
 
 _UID_DTYPE = np.dtype("<u8")
@@ -139,11 +140,50 @@ class RecordFormat:
 
     def to_bytes(self, records: np.ndarray) -> bytes:
         """Serialize records to their on-disk byte representation."""
-        return np.ascontiguousarray(records, dtype=self._dtype).tobytes()
+        out = np.ascontiguousarray(records, dtype=self._dtype).tobytes()
+        copy_stats().record_copy(len(out))
+        return out
 
     def from_bytes(self, data: bytes | bytearray | memoryview) -> np.ndarray:
-        """Deserialize records from their on-disk byte representation."""
-        return np.frombuffer(bytes(data), dtype=self._dtype).copy()
+        """Deserialize records from their on-disk byte representation.
+
+        The result always owns its memory (callers mutate it freely), so
+        exactly one copy happens here — ``frombuffer`` reads ``bytes``,
+        ``bytearray`` and ``memoryview`` alike without materializing an
+        intermediate ``bytes``.
+        """
+        out = np.frombuffer(data, dtype=self._dtype).copy()
+        copy_stats().record_copy(out.nbytes)
+        return out
+
+    def from_buffer(self, data: bytes | bytearray | memoryview) -> np.ndarray:
+        """Deserialize records as a read-only *view* of ``data`` — no
+        copy. The caller must not need to outlive or mutate the backing
+        buffer; use :meth:`from_bytes` for an owned array."""
+        out = np.frombuffer(data, dtype=self._dtype)
+        copy_stats().record_zero_copy(out.nbytes)
+        return out
+
+    def wire_view(self, records: np.ndarray) -> memoryview | bytes:
+        """The on-disk byte representation of ``records`` as a
+        memoryview of their existing memory when possible (the zero-copy
+        write path); falls back to a serialized copy for non-contiguous
+        or foreign-dtype inputs."""
+        if (
+            isinstance(records, np.ndarray)
+            and records.dtype == self._dtype
+            and records.flags.c_contiguous
+        ):
+            copy_stats().record_zero_copy(records.nbytes)
+            return records.data
+        return self.to_bytes(records)
+
+    def into_buffer(self, records: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Copy ``records`` into the caller-owned array ``out`` (e.g. a
+        pool lease) and return ``out``. One metered copy; no temporary."""
+        np.copyto(out[: len(records)], records.astype(self._dtype, copy=False))
+        copy_stats().record_copy(self.nbytes(len(records)))
+        return out
 
     # -- sorting helpers ---------------------------------------------------
 

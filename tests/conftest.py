@@ -16,7 +16,27 @@ import numpy as np
 import pytest
 
 from repro.cluster.config import ClusterConfig
+from repro.membuf import get_pool
 from repro.records.format import RecordFormat
+
+
+def pytest_runtest_teardown(item, nextitem):
+    """Buffer-pool leak check after every test.
+
+    Every lease taken from the global :class:`~repro.membuf.BufferPool`
+    must be recycled (or forgotten by the crash path) by the time a
+    test finishes; an outstanding lease here means a pass body dropped
+    a buffer on the floor. A plain hook, not an autouse fixture —
+    hypothesis rejects function-scoped fixtures around its tests.
+    """
+    pool = get_pool()
+    leaked = pool.outstanding()
+    if leaked:
+        pool.forget_leases()  # don't cascade the failure into later tests
+        pytest.fail(
+            f"{item.nodeid} leaked {leaked} buffer-pool lease(s)",
+            pytrace=False,
+        )
 
 
 @contextmanager

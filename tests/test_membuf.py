@@ -1,0 +1,191 @@
+"""Buffer pool and copy-accounting unit tests (repro.membuf)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.membuf import (
+    BufferPool,
+    CopyStats,
+    copy_delta,
+    copy_stats,
+    get_pool,
+    legacy_copies,
+)
+from repro.membuf.pool import MAX_FREE_PER_KEY
+from repro.records.format import RecordFormat
+
+
+class TestBufferPool:
+    def test_lease_recycle_roundtrip_hits_freelist(self):
+        pool = BufferPool()
+        a = pool.lease(np.int64, 100)
+        assert pool.outstanding() == 1
+        assert pool.recycle(a)
+        assert pool.outstanding() == 0
+        b = pool.lease(np.int64, 100)
+        assert b is a  # the freelist handed the same array back
+        pool.clear()
+
+    def test_fresh_take_is_a_miss_reuse_is_a_hit(self):
+        pool = BufferPool()
+        before = copy_stats().snapshot()
+        a = pool.grab(np.float64, 32)
+        mid = copy_stats().snapshot()
+        assert mid["pool_misses"] - before["pool_misses"] == 1
+        pool.recycle(a)
+        pool.grab(np.float64, 32)
+        after = copy_stats().snapshot()
+        assert after["pool_hits"] - mid["pool_hits"] == 1
+
+    def test_keys_are_dtype_and_rows(self):
+        pool = BufferPool()
+        a = pool.grab(np.int64, 10)
+        pool.recycle(a)
+        assert pool.grab(np.int64, 11) is not a  # different rows
+        assert pool.grab(np.int32, 10) is not a  # different dtype
+        assert pool.grab(np.int64, 10) is a
+        pool.clear()
+
+    def test_structured_dtype_buffers(self, small_fmt: RecordFormat):
+        pool = BufferPool()
+        a = pool.lease(small_fmt.dtype, 64)
+        assert a.dtype == small_fmt.dtype and a.shape == (64,)
+        assert pool.recycle(a)
+        assert pool.lease(small_fmt.dtype, 64) is a
+        pool.clear()
+
+    def test_grab_is_untracked(self):
+        pool = BufferPool()
+        pool.grab(np.int64, 8)
+        assert pool.outstanding() == 0
+
+    def test_recycle_view_is_noop(self):
+        pool = BufferPool()
+        base = np.zeros(100, dtype=np.int64)
+        assert not pool.recycle(base[10:20])
+        assert pool.free_buffers() == 0
+
+    def test_recycle_2d_and_foreign_rejected(self):
+        pool = BufferPool()
+        assert not pool.recycle(np.zeros((4, 4)))
+        assert not pool.recycle([1, 2, 3])
+        assert not pool.recycle(b"bytes")
+        assert pool.free_buffers() == 0
+
+    def test_recycle_view_still_closes_lease(self):
+        """A leased buffer replaced by a view (e.g. sliced) cannot be
+        pooled, but recycling it must still balance the lease count."""
+        pool = BufferPool()
+        a = pool.lease(np.int64, 16)
+        view = a[:8]
+        assert not pool.recycle(view)  # not adopted (aliases `a`)
+        assert pool.outstanding() == 1  # the view is not the lease
+        assert pool.recycle(a)
+        assert pool.outstanding() == 0
+        pool.clear()
+
+    def test_freelist_capped_per_key(self):
+        pool = BufferPool(max_free_per_key=2)
+        arrays = [np.empty(5, dtype=np.int64) for _ in range(4)]
+        for arr in arrays:
+            pool.recycle(arr)
+        assert pool.free_buffers() == 2
+        assert MAX_FREE_PER_KEY == 8  # documented default
+
+    def test_forget_leases_crash_cleanup(self):
+        pool = BufferPool()
+        pool.lease(np.int64, 4)
+        pool.lease(np.int64, 4)
+        assert pool.outstanding() == 2
+        assert pool.forget_leases() == 2
+        assert pool.outstanding() == 0
+        assert pool.free_buffers() == 0  # forgotten, not pooled
+
+    def test_clear_empties_everything(self):
+        pool = BufferPool()
+        pool.recycle(np.empty(3, dtype=np.int64))
+        pool.lease(np.int64, 3)
+        assert pool.clear() == 1
+        assert pool.free_buffers() == 0 and pool.outstanding() == 0
+
+    def test_global_pool_is_shared(self):
+        assert get_pool() is get_pool()
+
+    def test_thread_safety_smoke(self):
+        pool = BufferPool()
+        errors = []
+
+        def churn():
+            try:
+                for _ in range(200):
+                    arr = pool.lease(np.int64, 64)
+                    arr[:] = 1
+                    pool.recycle(arr)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert pool.outstanding() == 0
+        pool.clear()
+
+
+class TestCopyStats:
+    def test_counters_and_snapshot(self):
+        stats = CopyStats()
+        stats.record_copy(100)
+        stats.record_zero_copy(50)
+        stats.record_pool(hit=True)
+        stats.record_pool(hit=False)
+        snap = stats.snapshot()
+        assert snap["bytes_copied"] == 100
+        assert snap["bytes_zero_copy"] == 50
+        assert snap["pool_hits"] == 1 and snap["pool_misses"] == 1
+
+    def test_peak_leases_high_water(self):
+        stats = CopyStats()
+        stats.record_lease(1)
+        stats.record_lease(2)
+        stats.record_return()
+        stats.record_lease(2)  # back up to 2, peak stays 2
+        assert stats.snapshot()["peak_leases"] == 2
+        stats.rebase_peak(1)
+        assert stats.snapshot()["peak_leases"] == 1
+
+    def test_copy_delta_differences_counters_keeps_peak(self):
+        stats = CopyStats()
+        stats.record_copy(10)
+        before = stats.snapshot()
+        stats.record_copy(30)
+        stats.record_lease(5)
+        delta = copy_delta(before, stats.snapshot())
+        assert delta["bytes_copied"] == 30
+        assert delta["leases"] == 1
+        assert delta["peak_leases"] == 5  # absolute, not differenced
+
+    def test_reset(self):
+        stats = CopyStats()
+        stats.record_copy(1)
+        stats.reset()
+        assert all(v == 0 for v in stats.snapshot().values())
+
+
+class TestLegacySwitch:
+    def test_default_is_pooled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEGACY_COPIES", raising=False)
+        assert not legacy_copies()
+
+    @pytest.mark.parametrize("value,expect", [
+        ("1", True), ("yes", True), ("0", False), ("", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expect):
+        monkeypatch.setenv("REPRO_LEGACY_COPIES", value)
+        assert legacy_copies() is expect

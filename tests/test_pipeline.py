@@ -331,10 +331,10 @@ def test_stalled_reader_raises_spmd_error_not_hang(tmp_path, hard_timeout):
     release = threading.Event()
     real_read = ws.input.read_column
 
-    def stalling_read(rank, j):
+    def stalling_read(rank, j, **kwargs):
         if rank == 1:
             release.wait()  # rank 1's prefetcher never comes back
-        return real_read(rank, j)
+        return real_read(rank, j, **kwargs)
 
     ws.input.read_column = stalling_read
     dst = ColumnStore(cluster, FMT, r, s, ws.disks, name="stall-t1")
