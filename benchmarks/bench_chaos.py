@@ -1,0 +1,178 @@
+"""Chaos harness: every algorithm under seeded random fault plans.
+
+For each algorithm and each seeded :class:`~repro.resilience.FaultPlan`
+this runs the full out-of-core sort and asserts the resilience layer's
+whole contract:
+
+* **transient-only plans** — the run completes, its output is
+  byte-identical to a fault-free run, and the recovery is *visible*
+  (retry counters > 0 whenever the plan actually fired);
+* **permanent plans** — the run fails with a structured
+  :class:`~repro.errors.SpmdError` naming a rank, within the watchdog
+  deadline — never a hang, never silent corruption;
+* **always** — no leaked buffer-pool leases and no leaked threads.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick
+    PYTHONPATH=src python benchmarks/bench_chaos.py --seeds 8  # wider sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from repro.cluster.config import ClusterConfig
+from repro.errors import SpmdError
+from repro.membuf import get_pool
+from repro.oocs.api import sort_out_of_core
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+from repro.resilience import FaultPlan, FaultSpec, RetryPolicy, transient_plan
+
+FMT = RecordFormat("u8", 64)
+
+#: algorithm → (p, buffer_records, s, striped input?)
+CONFIGS = {
+    "threaded": (2, 256, 4, False),
+    "subblock": (2, 256, 4, False),
+    "m": (2, 128, 4, True),
+    "hybrid": (2, 128, 4, True),
+}
+
+WATCHDOG_DEADLINE = 10.0
+
+
+def records_for(algorithm: str, seed: int):
+    p, buf, s, striped = CONFIGS[algorithm]
+    n = p * buf * s if striped else buf * s
+    return generate("uniform", FMT, n, seed=seed)
+
+
+def run_sort(algorithm: str, records, depth: int, plan=None, policy=None):
+    p, buf, _, _ = CONFIGS[algorithm]
+    cluster = ClusterConfig(p=p, mem_per_proc=2**12)
+    return sort_out_of_core(
+        algorithm, records, cluster, FMT, buffer_records=buf,
+        pipeline_depth=depth, fault_plan=plan, retry_policy=policy,
+        watchdog_deadline=WATCHDOG_DEADLINE if plan is not None else None,
+    )
+
+
+def wind_down_threads(before: set, deadline_s: float = 5.0) -> set:
+    """Poll until every thread spawned since ``before`` exits; return
+    the leftovers (empty on success)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        extra = set(threading.enumerate()) - before
+        if not extra:
+            return set()
+        time.sleep(0.02)
+    return set(threading.enumerate()) - before
+
+
+def chaos_case(algorithm: str, depth: int, seed: int) -> list[str]:
+    """One algorithm under one seed: a transient plan that must be
+    survived and a permanent plan that must fail cleanly. Returns the
+    list of failure descriptions (empty = all good)."""
+    failures: list[str] = []
+    tag = f"{algorithm} depth={depth} seed={seed}"
+    records = records_for(algorithm, seed)
+
+    # ground truth, fault-free
+    expected = run_sort(algorithm, records, depth).output_records().tobytes()
+
+    # -- transient weather: must complete byte-identically via retries --
+    plan = transient_plan(read_p=0.02, write_p=0.02, seed=seed)
+    policy = RetryPolicy(max_attempts=6, base_delay_s=0.0005, seed=seed)
+    before = set(threading.enumerate())
+    t0 = time.perf_counter()
+    res = run_sort(algorithm, records, depth, plan=plan, policy=policy)
+    wall = time.perf_counter() - t0
+    fired = plan.snapshot()["fired_total"]
+    retries = (
+        res.io["read_retries"] + res.io["write_retries"]
+        + res.comm_total["retries"]
+    )
+    if res.output_records().tobytes() != expected:
+        failures.append(f"{tag}: output diverged under transient faults")
+    if fired and not retries:
+        failures.append(
+            f"{tag}: plan fired {fired} faults but no retries were metered"
+        )
+    res.output.delete()
+    if get_pool().outstanding():
+        failures.append(f"{tag}: leaked pool leases after transient run")
+    leftover = wind_down_threads(before)
+    if leftover:
+        failures.append(f"{tag}: leaked threads after transient run: {leftover}")
+    print(
+        f"  {tag}: transient ok — {fired} faults fired, {retries} retries, "
+        f"{wall * 1000:.0f} ms"
+    )
+
+    # -- permanent fault: must fail structurally, promptly, cleanly --
+    plan = FaultPlan(
+        [FaultSpec(op="read", probability=1.0, nth=3 + seed, count=None,
+                   transient=False)],
+        seed=seed,
+    )
+    before = set(threading.enumerate())
+    t0 = time.perf_counter()
+    try:
+        res = run_sort(algorithm, records, depth, plan=plan, policy=policy)
+    except SpmdError as exc:
+        wall = time.perf_counter() - t0
+        if wall > WATCHDOG_DEADLINE + 5.0:
+            failures.append(
+                f"{tag}: structured failure took {wall:.1f}s "
+                f"(watchdog deadline {WATCHDOG_DEADLINE}s)"
+            )
+        print(
+            f"  {tag}: permanent ok — rank {exc.rank} failed with "
+            f"{type(exc.cause).__name__} in {wall * 1000:.0f} ms"
+        )
+    else:
+        failures.append(f"{tag}: permanent fault plan did not fail the run")
+        res.output.delete()
+    if get_pool().outstanding():
+        get_pool().forget_leases()
+        failures.append(f"{tag}: leaked pool leases after permanent run")
+    leftover = wind_down_threads(before)
+    if leftover:
+        failures.append(f"{tag}: leaked threads after permanent run: {leftover}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one seed, depths 0+2 (the CI chaos-smoke gate)")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="fault-plan seeds per algorithm (full mode)")
+    parser.add_argument("--seed-base", type=int, default=1,
+                        help="first seed (fixed in CI for reproducibility)")
+    args = parser.parse_args(argv)
+
+    seeds = [args.seed_base] if args.quick else [
+        args.seed_base + i for i in range(args.seeds)
+    ]
+    failures: list[str] = []
+    for algorithm in CONFIGS:
+        for depth in (0, 2):
+            for seed in seeds:
+                failures.extend(chaos_case(algorithm, depth, seed))
+    if failures:
+        print(f"\n{len(failures)} chaos failure(s):")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        return 1
+    print("\nall chaos cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

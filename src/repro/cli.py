@@ -109,9 +109,16 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         if args.copy_stats:
             _print_copy_stats(result)
         return 0
+    retry_policy = None
+    if args.retries > 1:
+        from repro.resilience import RetryPolicy
+
+        retry_policy = RetryPolicy(max_attempts=args.retries, seed=args.seed)
     result = sort_out_of_core(
         args.algorithm, records, cluster, fmt, buffer_records=args.buffer,
         workdir=args.workdir, pipeline_depth=args.pipeline_depth,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        retry_policy=retry_policy,
     )
     io = result.io
     print(
@@ -127,6 +134,18 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         f"  network: {result.comm_total['network_bytes']:,} B in "
         f"{result.comm_total['network_messages']} messages"
     )
+    retries = (
+        io.get("read_retries", 0)
+        + io.get("write_retries", 0)
+        + result.comm_total.get("retries", 0)
+    )
+    if retries:
+        print(
+            f"  retries: {io.get('read_retries', 0)} read, "
+            f"{io.get('write_retries', 0)} write, "
+            f"{result.comm_total.get('retries', 0)} comm "
+            f"(all transient faults recovered)"
+        )
     wall = result.stage_wall()
     if wall:
         total = sum(wall.values())
@@ -193,6 +212,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--group-size", "-g", type=int, default=None,
         help="adjustable height interpretation: run g-columnsort with "
              "r = g·buffer (overrides --algorithm)",
+    )
+    srt.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist a pass-boundary checkpoint manifest here after every "
+             "completed pass (enables --resume)",
+    )
+    srt.add_argument(
+        "--resume", action="store_true",
+        help="restart after the last completed pass recorded in "
+             "--checkpoint-dir (requires --workdir so scratch files "
+             "survived the kill); output is byte-identical to an "
+             "uninterrupted run",
+    )
+    srt.add_argument(
+        "--retries", type=int, default=1,
+        help="max attempts per disk/comm operation (1 = no retry); "
+             "transient faults are retried with seeded exponential backoff",
     )
     srt.set_defaults(fn=_cmd_sort)
 

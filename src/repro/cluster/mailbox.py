@@ -5,12 +5,22 @@ non-overtaking order between a fixed (source, dest, tag) pair; a queue
 per triple gives exactly that, while messages on different tags may be
 consumed in any order — matching the semantics the rank programs rely
 on.
+
+The router is also where the resilience layer instruments the fabric:
+an attached :class:`~repro.resilience.faults.FaultPlan` injects comm
+faults at the top of :meth:`MailboxRouter.put` (before the payload is
+enqueued, so a retried send never duplicates a message), an attached
+:class:`~repro.resilience.retry.RetryPolicy` retries transient comm
+faults, and every put/successful get stamps per-rank activity times the
+:class:`~repro.resilience.watchdog.RankWatchdog` polls to detect stuck
+ranks.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import defaultdict
 
 from repro.errors import CommError
@@ -29,6 +39,10 @@ class MailboxRouter:
         self._queues: dict[tuple[int, int, object], queue.SimpleQueue] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self.fault_plan = None
+        self.retry_policy = None
+        self.comm_retries = 0
+        self._activity: dict[int, float] = {}
 
     def _queue_for(self, source: int, dest: int, tag: object) -> queue.SimpleQueue:
         key = (source, dest, tag)
@@ -38,10 +52,44 @@ class MailboxRouter:
                 q = self._queues[key] = queue.SimpleQueue()
             return q
 
+    # -- watchdog support ----------------------------------------------
+
+    def touch(self, rank: int) -> None:
+        """Stamp ``rank`` as having made progress just now."""
+        with self._lock:
+            self._activity[rank] = time.monotonic()
+
+    def activity(self) -> dict[int, float]:
+        """Latest progress stamp (``time.monotonic()``) per rank."""
+        with self._lock:
+            return dict(self._activity)
+
+    # ------------------------------------------------------------------
+
     def put(self, source: int, dest: int, tag: object, payload: object) -> None:
-        if self._closed:
-            raise CommError("communicator has been shut down")
+        plan = self.fault_plan
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            if self._closed:
+                raise CommError("communicator has been shut down")
+            try:
+                if plan is not None:
+                    plan.check("comm", where=f"{source}->{dest} tag={tag!r}")
+                break
+            except CommError as exc:
+                if (
+                    policy is None
+                    or attempt >= policy.max_attempts
+                    or not policy.retryable(exc)
+                ):
+                    raise
+                with self._lock:
+                    self.comm_retries += 1
+                time.sleep(policy.delay_s(attempt))
+                attempt += 1
         self._queue_for(source, dest, tag).put(payload)
+        self.touch(source)
 
     def get(self, source: int, dest: int, tag: object) -> object:
         # Poll in short slices so that a world shutdown (another rank
@@ -54,7 +102,7 @@ class MailboxRouter:
             if self._closed:
                 raise CommError("communicator has been shut down")
             try:
-                return q.get(timeout=slice_s)
+                payload = q.get(timeout=slice_s)
             except queue.Empty:
                 waited += slice_s
                 if waited >= self._timeout:
@@ -63,6 +111,9 @@ class MailboxRouter:
                         f"rank {dest} waiting for (source={source}, tag={tag!r}) — "
                         f"likely mismatched sends/receives or a collective mismatch"
                     ) from None
+            else:
+                self.touch(dest)
+                return payload
 
     def pending(self) -> dict[tuple[int, int, object], int]:
         """Undelivered message counts per (source, dest, tag) — used by

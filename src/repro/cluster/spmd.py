@@ -9,18 +9,27 @@ same overlap structure the paper gets from pthreads.
 If any rank raises, the world is shut down (unblocking ranks stuck in
 receives) and an :class:`~repro.errors.SpmdError` carrying the first
 failing rank propagates to the caller.
+
+With ``watchdog_deadline=`` set, a
+:class:`~repro.resilience.watchdog.RankWatchdog` additionally converts
+a *hung* world (every rank silent past the deadline) into the same
+structured ``SpmdError``, whose cause is a
+:class:`~repro.errors.WatchdogTimeout` naming the stuck rank. Rank
+threads are daemons, so a thread wedged in a sleep or hung syscall is
+abandoned after a short grace period instead of pinning the process.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cluster.comm import Comm
 from repro.cluster.mailbox import DEFAULT_TIMEOUT, MailboxRouter
 from repro.cluster.stats import CommStats
-from repro.errors import CommError, ConfigError, SpmdError
+from repro.errors import CommError, ConfigError, SpmdError, WatchdogTimeout
 
 
 @dataclass
@@ -29,6 +38,7 @@ class SpmdResult:
 
     returns: list
     stats: list[CommStats]
+    comm_retries: int = field(default=0)
 
     def total_network_bytes(self) -> int:
         return sum(s.snapshot()["network_bytes"] for s in self.stats)
@@ -37,12 +47,21 @@ class SpmdResult:
         return sum(s.snapshot()["network_messages"] for s in self.stats)
 
 
+def _is_collateral(exc: BaseException) -> bool:
+    """True for the CommError a rank gets because the world was already
+    shutting down around it — noise, not the root cause."""
+    return isinstance(exc, CommError) and "shut down" in str(exc)
+
+
 def run_spmd(
     size: int,
     program: Callable,
     *args,
     rank_args: Sequence[tuple] | None = None,
     timeout: float = DEFAULT_TIMEOUT,
+    watchdog_deadline: float | None = None,
+    fault_plan=None,
+    retry_policy=None,
     **kwargs,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` ranks.
@@ -59,6 +78,17 @@ def run_spmd(
         ``program(comm, *args, *rank_args[p], **kwargs)``.
     timeout:
         Deadlock timeout for blocked receives, in seconds.
+    watchdog_deadline:
+        If set, seconds of universal rank silence after which a
+        :class:`~repro.resilience.watchdog.RankWatchdog` aborts the run
+        with a :class:`~repro.errors.WatchdogTimeout` cause.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` injecting
+        comm faults at the mailbox layer.
+    retry_policy:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` retrying
+        transient comm faults; retry counts surface as
+        ``SpmdResult.comm_retries``.
 
     Returns
     -------
@@ -74,11 +104,21 @@ def run_spmd(
         )
 
     router = MailboxRouter(timeout=timeout)
+    router.fault_plan = fault_plan
+    router.retry_policy = retry_policy
     stats = [CommStats(rank=p) for p in range(size)]
     comms = [Comm(p, size, router, stats[p]) for p in range(size)]
     returns: list = [None] * size
     failures: list[tuple[int, BaseException]] = []
     failure_lock = threading.Lock()
+
+    watchdog = None
+    if watchdog_deadline is not None:
+        from repro.resilience.watchdog import RankWatchdog
+
+        watchdog = RankWatchdog(router, watchdog_deadline)
+    for p in range(size):
+        router.touch(p)  # baseline stamp: a rank that never speaks is stuck
 
     def runner(p: int) -> None:
         extra = rank_args[p] if rank_args is not None else ()
@@ -88,28 +128,62 @@ def run_spmd(
             with failure_lock:
                 failures.append((p, exc))
             router.close()  # unblock ranks waiting in receives
+        finally:
+            if watchdog is not None:
+                watchdog.rank_done(p)
 
+    if watchdog is not None:
+        watchdog.start()
     if size == 1:
-        # Degenerate world: run inline for easier debugging.
+        # Degenerate world: run inline for easier debugging. (The
+        # watchdog still works — closing the router unblocks a stuck
+        # receive on the calling thread.)
         runner(0)
     else:
         threads = [
-            threading.Thread(target=runner, args=(p,), name=f"spmd-rank-{p}")
+            threading.Thread(
+                target=runner, args=(p,), name=f"spmd-rank-{p}", daemon=True
+            )
             for p in range(size)
         ]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join()
+        if watchdog is None:
+            for t in threads:
+                t.join()
+        else:
+            for t in threads:
+                while t.is_alive() and not watchdog.fired.is_set():
+                    t.join(timeout=0.25)
+                if watchdog.fired.is_set():
+                    break
+            if watchdog.fired.is_set():
+                # The router is closed; give ranks a moment to fail out
+                # of their receives, then abandon any thread still wedged
+                # (daemons — they cannot pin the process).
+                grace_until = time.monotonic() + 2.0
+                for t in threads:
+                    t.join(timeout=max(0.0, grace_until - time.monotonic()))
+    if watchdog is not None:
+        watchdog.stop()
+        if watchdog.error is not None:
+            with failure_lock:
+                failures.append((watchdog.error.rank, watchdog.error))
 
     if failures:
-        failures.sort(key=lambda f: f[0])
-        rank, cause = failures[0]
         # A CommError("shut down") on another rank is collateral damage of
-        # the primary failure; prefer reporting a non-collateral cause.
-        for p, exc in failures:
-            if not (isinstance(exc, CommError) and "shut down" in str(exc)):
-                rank, cause = p, exc
-                break
+        # the primary failure; prefer reporting a non-collateral cause,
+        # and a genuine rank failure over the watchdog's verdict. Within a
+        # class, report the lowest-numbered rank.
+        ranked = sorted(
+            failures,
+            key=lambda f: (
+                0 if not (_is_collateral(f[1]) or isinstance(f[1], WatchdogTimeout))
+                else 1 if isinstance(f[1], WatchdogTimeout)
+                else 2,
+                f[0],
+            ),
+        )
+        rank, cause = ranked[0]
         raise SpmdError(rank, cause) from cause
-    return SpmdResult(returns=returns, stats=stats)
+    return SpmdResult(returns=returns, stats=stats, comm_retries=router.comm_retries)

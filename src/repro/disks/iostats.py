@@ -21,6 +21,8 @@ class IoStats:
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_read(self, nbytes: int) -> None:
@@ -33,6 +35,17 @@ class IoStats:
             self.writes += 1
             self.bytes_written += nbytes
 
+    def record_retry(self, op: str) -> None:
+        """Count one retried operation. Retries are metered separately —
+        ``reads``/``writes`` and the byte totals count only successful
+        operations, so the pass-count assertions stay exact even under a
+        transient fault plan."""
+        with self._lock:
+            if op == "read":
+                self.read_retries += 1
+            else:
+                self.write_retries += 1
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -40,6 +53,8 @@ class IoStats:
                 "writes": self.writes,
                 "bytes_read": self.bytes_read,
                 "bytes_written": self.bytes_written,
+                "read_retries": self.read_retries,
+                "write_retries": self.write_retries,
             }
 
     def reset(self) -> None:
@@ -48,11 +63,20 @@ class IoStats:
             self.writes = 0
             self.bytes_read = 0
             self.bytes_written = 0
+            self.read_retries = 0
+            self.write_retries = 0
 
     @staticmethod
     def combine(stats: list["IoStats"]) -> dict:
         """Aggregate totals across disks."""
-        total = {"reads": 0, "writes": 0, "bytes_read": 0, "bytes_written": 0}
+        total = {
+            "reads": 0,
+            "writes": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+            "read_retries": 0,
+            "write_retries": 0,
+        }
         for s in stats:
             snap = s.snapshot()
             for key in total:

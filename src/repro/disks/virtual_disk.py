@@ -4,15 +4,21 @@ One disk = one directory; the data objects on it (columns, PDM stripes,
 temporaries) are files addressed by name with byte-offset reads and
 writes — the same access pattern as the paper's C ``stdio`` I/O.
 
-Beyond plain I/O the disk supports what the failure-injection tests
-need: an optional capacity limit (:class:`~repro.errors.DiskFullError`
-on overflow), a read-only mode, and one-shot fault injection.
+Beyond plain I/O the disk supports what the failure-injection and chaos
+tests need: an optional capacity limit
+(:class:`~repro.errors.DiskFullError` on overflow), a read-only mode,
+and fault injection through an attached
+:class:`~repro.resilience.faults.FaultPlan`. An attached
+:class:`~repro.resilience.retry.RetryPolicy` makes ``read_at`` /
+``write_at`` retry transient faults with metered retry counts.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
+import time
 from pathlib import Path
 
 from repro.disks.iostats import IoStats
@@ -35,6 +41,13 @@ class VirtualDisk:
     stats:
         Optional shared :class:`IoStats`; a private one is created
         otherwise.
+
+    Two optional attributes hook in the resilience layer:
+    ``fault_plan`` (a :class:`~repro.resilience.faults.FaultPlan`
+    consulted at the top of every read/write, before side effects) and
+    ``retry_policy`` (a :class:`~repro.resilience.retry.RetryPolicy`
+    that retries transient failures, metering each retry into
+    :attr:`stats`).
     """
 
     def __init__(
@@ -50,7 +63,8 @@ class VirtualDisk:
         self.capacity_bytes = capacity_bytes
         self.stats = stats if stats is not None else IoStats()
         self.read_only = False
-        self._fail_next: str | None = None
+        self.fault_plan = None
+        self.retry_policy = None
         self._lock = threading.Lock()
         self._sizes: dict[str, int] = {}
         for path in self.root.iterdir():
@@ -65,20 +79,52 @@ class VirtualDisk:
         return self.root / name
 
     def _consume_fault(self, op: str) -> None:
-        with self._lock:
-            if self._fail_next == op or self._fail_next == "any":
-                self._fail_next = None
-                raise DiskError(
-                    f"injected {op} fault on disk {self.disk_id}"
-                )
+        plan = self.fault_plan
+        if plan is not None:
+            plan.check(op, where=f"on disk {self.disk_id}")
 
     def inject_fault(self, op: str = "any") -> None:
         """Make the next operation of kind ``op`` (``"read"``, ``"write"``
-        or ``"any"``) fail with :class:`DiskError`."""
+        or ``"any"``) fail with :class:`DiskError`.
+
+        .. deprecated::
+            Thin shim over :class:`~repro.resilience.faults.FaultPlan`:
+            arms a one-shot *permanent* fault on this disk's plan
+            (creating one if absent). New code should build a
+            ``FaultPlan`` and assign it to ``disk.fault_plan`` directly.
+        """
         if op not in ("read", "write", "any"):
             raise DiskError(f"unknown fault kind {op!r}")
         with self._lock:
-            self._fail_next = op
+            if self.fault_plan is None:
+                from repro.resilience.faults import FaultPlan
+
+                self.fault_plan = FaultPlan()
+        self.fault_plan.arm_once(op)
+
+    def _run_op(self, op: str, fn):
+        """Run one read/write body under the fault plan and retry policy.
+
+        The fault check happens *before* ``fn`` on every attempt, so an
+        injected fault never leaves a half-applied operation behind and
+        a retried op is indistinguishable from a fresh one.
+        """
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                self._consume_fault(op)
+                return fn()
+            except BaseException as exc:
+                if (
+                    policy is None
+                    or attempt >= policy.max_attempts
+                    or not policy.retryable(exc)
+                ):
+                    raise
+                self.stats.record_retry(op)
+                time.sleep(policy.delay_s(attempt))
+                attempt += 1
 
     # ------------------------------------------------------------------
 
@@ -109,31 +155,34 @@ class VirtualDisk:
             raise DiskError(f"disk {self.disk_id} is read-only")
         if offset < 0:
             raise DiskError(f"negative write offset {offset}")
-        self._consume_fault("write")
         path = self._path(name)
         # memoryview(data).nbytes, not len(data): len() of a structured-
         # array view counts records, not bytes.
         nbytes = memoryview(data).nbytes
-        with self._lock:
-            old_size = self._sizes.get(name, 0)
-            new_size = max(old_size, offset + nbytes)
-            if self.capacity_bytes is not None:
-                grow = new_size - old_size
-                if grow > 0 and sum(self._sizes.values()) + grow > self.capacity_bytes:
-                    raise DiskFullError(
-                        f"disk {self.disk_id} full: cannot grow {name!r} by "
-                        f"{grow} bytes (capacity {self.capacity_bytes})"
-                    )
-            mode = "r+b" if path.exists() else "w+b"
-            with open(path, mode) as fh:
-                if offset > old_size:
-                    # Explicitly zero-fill the gap so reads are defined.
-                    fh.seek(old_size)
-                    fh.write(b"\0" * (offset - old_size))
-                fh.seek(offset)
-                fh.write(data)
-            self._sizes[name] = new_size
-        self.stats.record_write(nbytes)
+
+        def body() -> None:
+            with self._lock:
+                old_size = self._sizes.get(name, 0)
+                new_size = max(old_size, offset + nbytes)
+                if self.capacity_bytes is not None:
+                    grow = new_size - old_size
+                    if grow > 0 and sum(self._sizes.values()) + grow > self.capacity_bytes:
+                        raise DiskFullError(
+                            f"disk {self.disk_id} full: cannot grow {name!r} by "
+                            f"{grow} bytes (capacity {self.capacity_bytes})"
+                        )
+                mode = "r+b" if path.exists() else "w+b"
+                with open(path, mode) as fh:
+                    if offset > old_size:
+                        # Explicitly zero-fill the gap so reads are defined.
+                        fh.seek(old_size)
+                        fh.write(b"\0" * (offset - old_size))
+                    fh.seek(offset)
+                    fh.write(data)
+                self._sizes[name] = new_size
+            self.stats.record_write(nbytes)
+
+        self._run_op("write", body)
 
     def read_at(
         self, name: str, offset: int, nbytes: int, out: "object | None" = None
@@ -146,36 +195,39 @@ class VirtualDisk:
         and ``out`` itself is returned; otherwise a fresh ``bytes``."""
         if offset < 0 or nbytes < 0:
             raise DiskError(f"invalid read range ({offset}, {nbytes})")
-        self._consume_fault("read")
         path = self._path(name)
-        if not path.exists():
-            raise DiskError(f"no object {name!r} on disk {self.disk_id}")
-        if out is not None:
-            mv = memoryview(out)
-            if mv.nbytes != nbytes:
-                raise DiskError(
-                    f"read buffer holds {mv.nbytes} bytes, wanted {nbytes}"
-                )
+
+        def body() -> object:
+            if not path.exists():
+                raise DiskError(f"no object {name!r} on disk {self.disk_id}")
+            if out is not None:
+                mv = memoryview(out)
+                if mv.nbytes != nbytes:
+                    raise DiskError(
+                        f"read buffer holds {mv.nbytes} bytes, wanted {nbytes}"
+                    )
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    got = fh.readinto(mv)
+                if got != nbytes:
+                    raise DiskError(
+                        f"short read of {name!r} on disk {self.disk_id}: wanted "
+                        f"{nbytes} bytes at offset {offset}, got {got}"
+                    )
+                self.stats.record_read(nbytes)
+                return out
             with open(path, "rb") as fh:
                 fh.seek(offset)
-                got = fh.readinto(mv)
-            if got != nbytes:
+                data = fh.read(nbytes)
+            if len(data) != nbytes:
                 raise DiskError(
                     f"short read of {name!r} on disk {self.disk_id}: wanted "
-                    f"{nbytes} bytes at offset {offset}, got {got}"
+                    f"{nbytes} bytes at offset {offset}, got {len(data)}"
                 )
             self.stats.record_read(nbytes)
-            return out
-        with open(path, "rb") as fh:
-            fh.seek(offset)
-            data = fh.read(nbytes)
-        if len(data) != nbytes:
-            raise DiskError(
-                f"short read of {name!r} on disk {self.disk_id}: wanted "
-                f"{nbytes} bytes at offset {offset}, got {len(data)}"
-            )
-        self.stats.record_read(nbytes)
-        return data
+            return data
+
+        return self._run_op("read", body)
 
     def delete(self, name: str) -> None:
         """Remove an object (no error if absent)."""
@@ -186,6 +238,22 @@ class VirtualDisk:
             self._sizes.pop(name, None)
             if path.exists():
                 os.unlink(path)
+
+    def fingerprint(self, name: str) -> str:
+        """SHA-256 hex digest of one object's bytes.
+
+        Unmetered and exempt from fault injection: checkpoint digests
+        are bookkeeping, not data movement, and must not perturb the
+        byte-exact pass accounting the integration tests assert.
+        """
+        path = self._path(name)
+        if not path.exists():
+            raise DiskError(f"no object {name!r} on disk {self.disk_id}")
+        h = hashlib.sha256()
+        with open(path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                h.update(chunk)
+        return h.hexdigest()
 
 
 def make_disk_array(

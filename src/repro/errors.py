@@ -69,12 +69,44 @@ class DiskFullError(DiskError):
 
 
 class SpmdError(ReproError, RuntimeError):
-    """A rank of an SPMD program raised; carries the failing rank."""
+    """A rank of an SPMD program raised; carries the failing rank.
+
+    When several ranks fail concurrently, the reported rank is the
+    lowest-numbered rank whose failure is not shutdown collateral (a
+    :class:`CommError` raised because the world was already closing).
+    """
 
     def __init__(self, rank: int, cause: BaseException) -> None:
         self.rank = rank
         self.cause = cause
         super().__init__(f"rank {rank} failed: {cause!r}")
+
+
+class ResilienceError(ReproError, RuntimeError):
+    """The fault-tolerance layer itself failed (a retry budget that could
+    not be honored, an inconsistent fault plan, or a recovery step that
+    found the world in a state it cannot repair)."""
+
+
+class CheckpointError(ResilienceError):
+    """A pass-boundary checkpoint could not be written, read, or trusted
+    (missing or corrupt manifest, a manifest that does not match the job
+    being resumed, or a content digest mismatch on the store it names)."""
+
+
+class WatchdogTimeout(ResilienceError):
+    """A rank made no observable progress past the watchdog deadline
+    (stuck in a collective, a pool wait, or a hung disk call); carries
+    the stuck rank and the seconds it sat idle."""
+
+    def __init__(self, rank: int, idle_s: float, deadline_s: float) -> None:
+        self.rank = rank
+        self.idle_s = idle_s
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"rank {rank} made no progress for {idle_s:.1f}s "
+            f"(watchdog deadline {deadline_s:.1f}s)"
+        )
 
 
 class VerificationError(ReproError, AssertionError):

@@ -131,6 +131,40 @@ def copy_breakdown_table(result) -> list[dict]:
     return rows
 
 
+def resilience_breakdown_table(result) -> list[dict]:
+    """Fault-recovery accounting for a functional run, as table rows.
+
+    ``result`` is an :class:`~repro.oocs.base.OocResult`; the rows pair
+    each retry counter with the operations it shadows, so the rendered
+    table answers "how much weather did this run survive": disk reads
+    and writes retried (from :class:`~repro.disks.iostats.IoStats`) and
+    mailbox sends retried (from the SPMD world's router). All-zero rows
+    mean a fault-free run, not a disabled layer.
+    """
+    io = getattr(result, "io", None) or {}
+    comm = getattr(result, "comm_total", None) or {}
+    rows = [
+        {
+            "metric": "read retries",
+            "value": io.get("read_retries", 0),
+            "note": f"over {io.get('reads', 0)} reads",
+        },
+        {
+            "metric": "write retries",
+            "value": io.get("write_retries", 0),
+            "note": f"over {io.get('writes', 0)} writes",
+        },
+        {
+            "metric": "comm retries",
+            "value": comm.get("retries", 0),
+            "note": f"over {comm.get('messages', 0)} messages",
+        },
+    ]
+    for row in rows:
+        row["algorithm"] = result.algorithm
+    return rows
+
+
 def io_boundedness(rows: list[dict]) -> dict[str, float]:
     """Mean I/O-thread utilization per algorithm — the quantitative form
     of the paper's 'how I/O-bound is it' narrative."""

@@ -47,6 +47,11 @@ def sort_out_of_core(
     verify: bool = True,
     collect_trace: bool = True,
     pipeline_depth: int = 0,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    retry_policy=None,
+    fault_plan=None,
+    watchdog_deadline: float | None = None,
 ) -> OocResult:
     """Sort ``records`` out-of-core with the named algorithm
     (``"threaded"``, ``"subblock"``, ``"m"``, or ``"hybrid"``).
@@ -64,6 +69,15 @@ def sort_out_of_core(
     With ``verify=True`` (default) the PDM output is read back and
     checked to be a sorted permutation of the input with intact keys.
 
+    Resilience knobs: ``checkpoint_dir`` persists a manifest after
+    every completed pass; with ``resume=True`` a killed run restarts
+    after the last completed pass (requires an explicit ``workdir`` so
+    the scratch files survive the kill) and produces byte-identical
+    output. ``retry_policy`` / ``fault_plan`` /
+    ``watchdog_deadline`` are forwarded to the disks and the SPMD
+    world — see :mod:`repro.resilience`. If the run fails with a
+    temporary workdir, the scratch directory is removed.
+
     >>> from repro.records import RecordFormat, generate
     >>> from repro.cluster import ClusterConfig
     >>> fmt = RecordFormat("u8", 64)
@@ -79,6 +93,13 @@ def sort_out_of_core(
         raise ConfigError(
             f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
         ) from None
+    if resume and workdir is None:
+        raise ConfigError(
+            "resume=True needs an explicit workdir (a temporary workspace "
+            "does not survive the run being resumed)"
+        )
+    if checkpoint_dir is None and resume:
+        raise ConfigError("resume=True needs a checkpoint_dir")
     job = OocJob(
         cluster=cluster,
         fmt=fmt,
@@ -86,10 +107,24 @@ def sort_out_of_core(
         buffer_records=buffer_records,
         workdir=workdir,
         pipeline_depth=pipeline_depth,
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
+        watchdog_deadline=watchdog_deadline,
     )
     r, s = shape_of(job)
     ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir, striped=striped)
-    result = runner(job, ws.input, collect_trace=collect_trace)
+    try:
+        result = runner(
+            job,
+            ws.input,
+            collect_trace=collect_trace,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+    except BaseException:
+        if ws._tmp is not None:
+            ws._tmp.cleanup()  # a temp workspace of a failed run is garbage
+        raise
     result.workspace = ws  # keep disks (and any TemporaryDirectory) alive
     if verify:
         verify_output(result.output, records)

@@ -44,6 +44,7 @@ import numpy as np
 from repro.cluster.comm import Comm
 from repro.cluster.config import ClusterConfig
 from repro.cluster.spmd import run_spmd
+from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import ColumnStore, PdmStore
 from repro.disks.virtual_disk import VirtualDisk, make_disk_array
 from repro.errors import ConfigError
@@ -62,9 +63,11 @@ from repro.records.format import RecordFormat
 from repro.simulate.trace import (
     PassTrace,
     RunTrace,
+    eleven_stage_pipeline,
     five_stage_pipeline,
     io_only_pipeline,
     seven_stage_pipeline,
+    twenty_stage_pipeline,
 )
 from repro.simulate.traces import (
     deal_round_work,
@@ -103,6 +106,17 @@ class OocJob:
         Buffers the read-ahead and write-behind pools may each keep in
         flight per pass (see :mod:`repro.pipeline`); ``0`` runs every
         pass strictly synchronously.
+    retry_policy:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` attached
+        to every disk (and the comm fabric) for the run: transient
+        faults are retried with metered retry counts.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` injected
+        into every disk and the comm fabric (chaos testing).
+    watchdog_deadline:
+        If set, seconds of universal rank silence after which the run
+        is aborted with a structured
+        :class:`~repro.errors.WatchdogTimeout` instead of hanging.
     """
 
     cluster: ClusterConfig
@@ -112,6 +126,9 @@ class OocJob:
     workdir: str | Path | None = None
     pdm_block: int | None = None
     pipeline_depth: int = 0
+    retry_policy: object = None
+    fault_plan: object = None
+    watchdog_deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.pipeline_depth < 0:
@@ -607,17 +624,220 @@ class PassMarker:
 
     def io_deltas(self) -> list[dict]:
         return self._deltas(
-            self.io_marks, ("reads", "writes", "bytes_read", "bytes_written")
+            self.io_marks,
+            (
+                "reads",
+                "writes",
+                "bytes_read",
+                "bytes_written",
+                "read_retries",
+                "write_retries",
+            ),
         )
 
 
 def new_pass_trace(name: str, shape: str) -> PassTrace:
     """Create a :class:`PassTrace` with the named pipeline shape
-    (``"five"``, ``"seven"``, or ``"io"``)."""
+    (``"five"``, ``"seven"``, ``"eleven"``, ``"twenty"``, or ``"io"``)."""
     stages = {
         "five": five_stage_pipeline,
         "seven": seven_stage_pipeline,
+        "eleven": eleven_stage_pipeline,
+        "twenty": twenty_stage_pipeline,
         "io": io_only_pipeline,
     }[shape]()
     return PassTrace(name=name, stages=stages)
+
+
+# ---------------------------------------------------------------------------
+# Pass programs: declarative pass lists, checkpointing, failure cleanup
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PassSpec:
+    """One pass of an out-of-core program, declaratively.
+
+    ``body`` is any pass function with the shared signature
+    ``body(comm, src_store, dst_store, fmt, trace, plan=...)``; ``src``
+    and ``dst`` are keys into the run's store dict; ``shape`` names the
+    simulated pipeline shape for the pass trace (see
+    :func:`new_pass_trace`).
+    """
+
+    name: str
+    shape: str
+    body: object
+    src: str
+    dst: str
+
+
+def execute_passes(
+    comm: Comm,
+    job: OocJob,
+    stores: dict,
+    specs: list[PassSpec],
+    collect_trace: bool = True,
+    checkpoint=None,
+    algorithm: str = "",
+    start_pass: int = 0,
+) -> dict:
+    """The shared SPMD rank program: run ``specs`` in order over
+    ``stores``, with per-pass accounting and optional pass-boundary
+    checkpoints.
+
+    ``start_pass`` passes are skipped at the front (their output already
+    sits on disk — the resume path, validated by
+    :meth:`~repro.resilience.checkpoint.CheckpointStore.resume_index`).
+    After each completed pass, every rank's writes are on disk (each
+    pass drains its write-behind pool, and :class:`PassMarker` barriers),
+    so rank 0 persists the manifest *inside* the boundary and a final
+    barrier keeps any rank from outrunning a manifest that is not yet
+    durable.
+    """
+    fmt = job.fmt
+    plan = job.pipeline_plan()
+    want_trace = comm.rank == 0 and collect_trace
+    marker = PassMarker(comm, stores["input"].disks)
+    traces = []
+    total = len(specs)
+    for index, spec in enumerate(specs, start=1):
+        if index <= start_pass:
+            continue
+        trace = new_pass_trace(spec.name, spec.shape) if want_trace else None
+        spec.body(comm, stores[spec.src], stores[spec.dst], fmt, trace, plan=plan)
+        marker.mark()
+        if trace is not None:
+            traces.append(trace)
+        if checkpoint is not None:
+            if comm.rank == 0:
+                checkpoint.save_pass(job, algorithm, index, total, stores[spec.dst])
+            comm.barrier()
+    return {
+        "traces": traces,
+        "comm_per_pass": marker.comm_deltas(),
+        "io_per_pass": marker.io_deltas(),
+    }
+
+
+def attach_resilience(disks: list[VirtualDisk], job: OocJob) -> None:
+    """Install the job's retry policy / fault plan on every disk (without
+    clobbering a plan a test armed directly on a disk)."""
+    for disk in disks:
+        if job.retry_policy is not None:
+            disk.retry_policy = job.retry_policy
+        if job.fault_plan is not None:
+            disk.fault_plan = job.fault_plan
+
+
+def cleanup_failed_run(stores: dict, checkpoint=None) -> None:
+    """Delete the scratch stores of a failed run.
+
+    The input store always survives (so the caller can retry), and any
+    store a checkpoint manifest references survives (so a resume stays
+    possible); everything else the run created is garbage and is
+    removed. Best-effort: cleanup must never mask the original failure.
+    """
+    protected = checkpoint.protected_stores() if checkpoint is not None else set()
+    for key, store in stores.items():
+        if key == "input" or store.name in protected:
+            continue
+        try:
+            store.delete()
+        except Exception:
+            pass
+
+
+def run_pass_program(
+    algorithm: str,
+    job: OocJob,
+    stores: dict,
+    specs: list[PassSpec],
+    collect_trace: bool = True,
+    keep_intermediates: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    trace_algorithm: str | None = None,
+) -> OocResult:
+    """Shared orchestration of every multi-pass program: resolve the
+    resume point, run :func:`execute_passes` across the SPMD world with
+    the job's resilience settings, account I/O and communication, clean
+    up (differently for success and failure), and assemble the
+    :class:`OocResult`.
+
+    With ``checkpoint_dir`` set, a manifest is persisted after every
+    completed pass; ``resume=True`` restarts after the last completed
+    pass recorded there (validated against the job and the on-disk
+    store digest). On failure, scratch stores not referenced by a
+    manifest are deleted; on success the checkpoint directory is
+    cleared together with the intermediates (unless
+    ``keep_intermediates``).
+    """
+    from repro.cluster.stats import combined
+    from repro.resilience.checkpoint import CheckpointStore
+
+    cluster, fmt = job.cluster, job.fmt
+    disks = stores["input"].disks
+    attach_resilience(disks, job)
+    ckpt = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    start_pass = 0
+    if ckpt is not None:
+        if resume:
+            start_pass = ckpt.resume_index(job, algorithm, stores)
+        else:
+            ckpt.clear()
+
+    io_before = IoStats.combine([d.stats for d in disks])
+    try:
+        res, copy = run_spmd_metered(
+            cluster.p,
+            execute_passes,
+            job,
+            stores,
+            specs,
+            collect_trace=collect_trace,
+            checkpoint=ckpt,
+            algorithm=algorithm,
+            start_pass=start_pass,
+            watchdog_deadline=job.watchdog_deadline,
+            fault_plan=job.fault_plan,
+            retry_policy=job.retry_policy,
+        )
+    except BaseException:
+        cleanup_failed_run(stores, ckpt)
+        raise
+    io_after = IoStats.combine([d.stats for d in disks])
+
+    rank0 = res.returns[0]
+    run_trace = None
+    if collect_trace:
+        run_trace = RunTrace(
+            algorithm=trace_algorithm or algorithm,
+            n_records=job.n,
+            record_size=fmt.record_size,
+            p=cluster.p,
+            buffer_bytes=job.buffer_bytes,
+            passes=rank0["traces"],
+        )
+    if not keep_intermediates:
+        for key, store in stores.items():
+            if key not in ("input", "output"):
+                store.delete()
+        if ckpt is not None:
+            ckpt.clear()  # a finished run's checkpoints are garbage
+
+    comm_total = combined(res.stats)
+    comm_total["retries"] = res.comm_retries
+    return OocResult(
+        algorithm=algorithm,
+        job=job,
+        output=stores["output"],
+        passes=len(specs),
+        io={k: io_after[k] - io_before[k] for k in io_after},
+        io_per_pass=rank0["io_per_pass"],
+        comm_per_pass=rank0["comm_per_pass"],
+        comm_total=comm_total,
+        copy=copy,
+        trace=run_trace,
+    )
 

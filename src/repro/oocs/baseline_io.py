@@ -9,34 +9,17 @@ buffer 2^25 sat just barely above the 3-pass baseline.
 
 from __future__ import annotations
 
-from repro.cluster.comm import Comm
-from repro.cluster.stats import combined
-from repro.disks.iostats import IoStats
+from pathlib import Path
+
 from repro.disks.matrixfile import ColumnStore
 from repro.errors import ConfigError
 from repro.oocs.base import (
     OocJob,
     OocResult,
-    new_pass_trace,
+    PassSpec,
     pass_io_only,
-    run_spmd_metered,
+    run_pass_program,
 )
-from repro.simulate.trace import RunTrace
-
-
-def _rank_program(
-    comm: Comm, job: OocJob, stores: list, passes: int, collect_trace: bool
-) -> dict:
-    plan = job.pipeline_plan()
-    traces = []
-    for k in range(passes):
-        trace = None
-        if comm.rank == 0 and collect_trace:
-            trace = new_pass_trace(f"io-pass{k + 1}", "io")
-            traces.append(trace)
-        pass_io_only(comm, stores[k], stores[k + 1], job.fmt, trace, plan=plan)
-        comm.barrier()
-    return {"traces": traces}
 
 
 def baseline_io_passes(
@@ -44,6 +27,8 @@ def baseline_io_passes(
     input_store: ColumnStore,
     passes: int = 3,
     collect_trace: bool = True,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> OocResult:
     """Run ``passes`` read+write-only passes over the data (3 for the
     threaded/M baseline, 4 for the subblock baseline)."""
@@ -52,36 +37,22 @@ def baseline_io_passes(
     r, s = input_store.r, input_store.s
     cluster, fmt = job.cluster, job.fmt
     disks = input_store.disks
-    stores = [input_store] + [
-        ColumnStore(cluster, fmt, r, s, disks, name=f"io-t{k}")
+    stores: dict = {"input": input_store}
+    keys = ["input"]
+    for k in range(passes):
+        key = "output" if k == passes - 1 else f"t{k + 1}"
+        stores[key] = ColumnStore(cluster, fmt, r, s, disks, name=f"io-t{k}")
+        keys.append(key)
+    specs = [
+        PassSpec(f"io-pass{k + 1}", "io", pass_io_only, keys[k], keys[k + 1])
         for k in range(passes)
     ]
-    io_before = IoStats.combine([d.stats for d in disks])
-    res, copy = run_spmd_metered(
-        cluster.p, _rank_program, job, stores, passes, collect_trace
-    )
-    io_after = IoStats.combine([d.stats for d in disks])
-    trace = None
-    if collect_trace:
-        trace = RunTrace(
-            algorithm=f"baseline-io-{passes}",
-            n_records=job.n,
-            record_size=fmt.record_size,
-            p=cluster.p,
-            buffer_bytes=job.buffer_bytes,
-            passes=res.returns[0]["traces"],
-        )
-    for store in stores[1:-1]:
-        store.delete()
-    return OocResult(
-        algorithm=f"baseline-io-{passes}",
-        job=job,
-        output=stores[-1],  # a ColumnStore copy of the input, not a PdmStore
-        passes=passes,
-        io={k: io_after[k] - io_before[k] for k in io_after},
-        io_per_pass=[],
-        comm_per_pass=[],
-        comm_total=combined(res.stats),
-        copy=copy,
-        trace=trace,
+    return run_pass_program(
+        f"baseline-io-{passes}",
+        job,
+        stores,
+        specs,
+        collect_trace=collect_trace,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

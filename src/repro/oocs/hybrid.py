@@ -26,19 +26,19 @@ from functools import partial
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.cluster.comm import Comm
-from repro.cluster.stats import combined
-from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import PdmStore, StripedColumnStore
 from repro.errors import ConfigError, DimensionError
 from repro.matrix.bits import is_power_of_four, sqrt_pow4
 from repro.oocs.base import (
     OocJob,
     OocResult,
-    PassMarker,
+    PassSpec,
     _finish_pass,
     _recycle,
-    run_spmd_metered,
+    run_pass_program,
 )
 from repro.oocs.incore.columnsort_dist import distributed_columnsort
 from repro.oocs.mcolumnsort import _pass1_m, _pass2_m, _pass3_m, _portion_prefetch
@@ -51,12 +51,7 @@ from repro.pipeline import (
     WriteBehind,
 )
 from repro.records.format import RecordFormat
-from repro.simulate.trace import (
-    PassTrace,
-    RunTrace,
-    eleven_stage_pipeline,
-    twenty_stage_pipeline,
-)
+from repro.simulate.trace import PassTrace
 from repro.simulate.traces import m_deal_round_work
 
 
@@ -140,37 +135,14 @@ def _pass_subblock_m(
     _finish_pass(trace, clock)
 
 
-def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
-    fmt = job.fmt
-    plan = job.pipeline_plan()
-    want_trace = comm.rank == 0 and collect_trace
-    marker = PassMarker(comm, stores["input"].disks)
-
-    t1 = PassTrace("pass1:steps1-2", eleven_stage_pipeline()) if want_trace else None
-    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
-    marker.mark()
-
-    t2 = (
-        PassTrace("pass2:steps3+3.1(subblock)", eleven_stage_pipeline())
-        if want_trace
-        else None
-    )
-    _pass_subblock_m(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
-    marker.mark()
-
-    t3 = PassTrace("pass3:steps3.2+4", eleven_stage_pipeline()) if want_trace else None
-    _pass2_m(comm, stores["t2"], stores["t3"], fmt, t3, plan=plan)
-    marker.mark()
-
-    t4 = PassTrace("pass4:steps5-8", twenty_stage_pipeline()) if want_trace else None
-    _pass3_m(comm, stores["t3"], stores["output"], fmt, t4, plan=plan)
-    marker.mark()
-
-    return {
-        "traces": [t for t in (t1, t2, t3, t4) if t is not None],
-        "comm_per_pass": marker.comm_deltas(),
-        "io_per_pass": marker.io_deltas(),
-    }
+#: The 4-pass program, declaratively (see
+#: :class:`~repro.oocs.base.PassSpec`).
+PASSES = [
+    PassSpec("pass1:steps1-2", "eleven", _pass1_m, "input", "t1"),
+    PassSpec("pass2:steps3+3.1(subblock)", "eleven", _pass_subblock_m, "t1", "t2"),
+    PassSpec("pass3:steps3.2+4", "eleven", _pass2_m, "t2", "t3"),
+    PassSpec("pass4:steps5-8", "twenty", _pass3_m, "t3", "output"),
+]
 
 
 def hybrid_columnsort_ooc(
@@ -178,9 +150,13 @@ def hybrid_columnsort_ooc(
     input_store: StripedColumnStore,
     collect_trace: bool = True,
     keep_intermediates: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> OocResult:
     """Run the 4-pass hybrid (subblock + M) columnsort — the largest
-    problem-size bound of all the variants, ``N ≤ M^(5/3)/4^(2/3)``."""
+    problem-size bound of all the variants, ``N ≤ M^(5/3)/4^(2/3)``.
+    With ``checkpoint_dir``, a manifest is saved after every pass and
+    ``resume=True`` restarts after the last completed one."""
     r, s = derive_shape(job)
     if (input_store.r, input_store.s) != (r, s):
         raise ConfigError(
@@ -195,35 +171,13 @@ def hybrid_columnsort_ooc(
         "t3": StripedColumnStore(cluster, fmt, r, s, disks, name="hy-t3"),
         "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
     }
-
-    io_before = IoStats.combine([d.stats for d in disks])
-    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
-    io_after = IoStats.combine([d.stats for d in disks])
-
-    rank0 = res.returns[0]
-    run_trace = None
-    if collect_trace:
-        run_trace = RunTrace(
-            algorithm="hybrid",
-            n_records=job.n,
-            record_size=fmt.record_size,
-            p=cluster.p,
-            buffer_bytes=job.buffer_bytes,
-            passes=rank0["traces"],
-        )
-    if not keep_intermediates:
-        for key in ("t1", "t2", "t3"):
-            stores[key].delete()
-
-    return OocResult(
-        algorithm="hybrid",
-        job=job,
-        output=stores["output"],
-        passes=4,
-        io={k: io_after[k] - io_before[k] for k in io_after},
-        io_per_pass=rank0["io_per_pass"],
-        comm_per_pass=rank0["comm_per_pass"],
-        comm_total=combined(res.stats),
-        copy=copy,
-        trace=run_trace,
+    return run_pass_program(
+        "hybrid",
+        job,
+        stores,
+        PASSES,
+        collect_trace=collect_trace,
+        keep_intermediates=keep_intermediates,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

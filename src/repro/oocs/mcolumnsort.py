@@ -27,19 +27,19 @@ from functools import partial
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.cluster.comm import Comm
-from repro.cluster.stats import combined
-from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import PdmStore, StripedColumnStore
 from repro.errors import ConfigError, DimensionError
 from repro.membuf import get_pool, legacy_copies
 from repro.oocs.base import (
     OocJob,
     OocResult,
-    PassMarker,
+    PassSpec,
     _finish_pass,
     _recycle,
-    run_spmd_metered,
+    run_pass_program,
 )
 from repro.oocs.incore.columnsort_dist import distributed_columnsort
 from repro.oocs.incore.common import Ranges
@@ -54,12 +54,7 @@ from repro.pipeline import (
     WriteBehind,
 )
 from repro.records.format import RecordFormat
-from repro.simulate.trace import (
-    PassTrace,
-    RunTrace,
-    eleven_stage_pipeline,
-    twenty_stage_pipeline,
-)
+from repro.simulate.trace import PassTrace
 from repro.simulate.traces import m_deal_round_work, m_final_round_work
 
 
@@ -354,35 +349,13 @@ def _pass3_m(
     _finish_pass(trace, clock)
 
 
-def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
-    fmt = job.fmt
-    plan = job.pipeline_plan()
-    want_trace = comm.rank == 0 and collect_trace
-    marker = PassMarker(comm, stores["input"].disks)
-
-    t1 = (
-        PassTrace("pass1:steps1-2", eleven_stage_pipeline()) if want_trace else None
-    )
-    _pass1_m(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
-    marker.mark()
-
-    t2 = (
-        PassTrace("pass2:steps3-4", eleven_stage_pipeline()) if want_trace else None
-    )
-    _pass2_m(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
-    marker.mark()
-
-    t3 = (
-        PassTrace("pass3:steps5-8", twenty_stage_pipeline()) if want_trace else None
-    )
-    _pass3_m(comm, stores["t2"], stores["output"], fmt, t3, plan=plan)
-    marker.mark()
-
-    return {
-        "traces": [t for t in (t1, t2, t3) if t is not None],
-        "comm_per_pass": marker.comm_deltas(),
-        "io_per_pass": marker.io_deltas(),
-    }
+#: The 3-pass program, declaratively (see
+#: :class:`~repro.oocs.base.PassSpec`).
+PASSES = [
+    PassSpec("pass1:steps1-2", "eleven", _pass1_m, "input", "t1"),
+    PassSpec("pass2:steps3-4", "eleven", _pass2_m, "t1", "t2"),
+    PassSpec("pass3:steps5-8", "twenty", _pass3_m, "t2", "output"),
+]
 
 
 def m_columnsort_ooc(
@@ -390,10 +363,14 @@ def m_columnsort_ooc(
     input_store: StripedColumnStore,
     collect_trace: bool = True,
     keep_intermediates: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> OocResult:
     """Run 3-pass M-columnsort on ``input_store`` (a striped column
     store built by :func:`~repro.oocs.base.make_workspace` with
-    ``striped=True``)."""
+    ``striped=True``). With ``checkpoint_dir``, a manifest is saved
+    after every pass and ``resume=True`` restarts after the last
+    completed one."""
     r, s = derive_shape(job)
     if (input_store.r, input_store.s) != (r, s):
         raise ConfigError(
@@ -407,35 +384,13 @@ def m_columnsort_ooc(
         "t2": StripedColumnStore(cluster, fmt, r, s, disks, name="m-t2"),
         "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
     }
-
-    io_before = IoStats.combine([d.stats for d in disks])
-    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
-    io_after = IoStats.combine([d.stats for d in disks])
-
-    rank0 = res.returns[0]
-    run_trace = None
-    if collect_trace:
-        run_trace = RunTrace(
-            algorithm="m-columnsort",
-            n_records=job.n,
-            record_size=fmt.record_size,
-            p=cluster.p,
-            buffer_bytes=job.buffer_bytes,
-            passes=rank0["traces"],
-        )
-    if not keep_intermediates:
-        stores["t1"].delete()
-        stores["t2"].delete()
-
-    return OocResult(
-        algorithm="m-columnsort",
-        job=job,
-        output=stores["output"],
-        passes=3,
-        io={k: io_after[k] - io_before[k] for k in io_after},
-        io_per_pass=rank0["io_per_pass"],
-        comm_per_pass=rank0["comm_per_pass"],
-        comm_total=combined(res.stats),
-        copy=copy,
-        trace=run_trace,
+    return run_pass_program(
+        "m-columnsort",
+        job,
+        stores,
+        PASSES,
+        collect_trace=collect_trace,
+        keep_intermediates=keep_intermediates,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

@@ -27,28 +27,26 @@ from functools import partial
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.cluster.comm import Comm
-from repro.cluster.stats import combined
 from repro.columnsort.validation import validate_subblock
-from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import ColumnStore, PdmStore
 from repro.errors import ConfigError
 from repro.matrix.bits import sqrt_pow4
 from repro.oocs.base import (
     OocJob,
     OocResult,
-    PassMarker,
+    PassSpec,
     _column_prefetch,
     _finish_pass,
     _recycle,
-    new_pass_trace,
     pass_final_windows,
     pass_step2_deal,
     pass_step4_deal,
-    run_spmd_metered,
+    run_pass_program,
 )
 from repro.pipeline import COMM, COMPUTE, SYNCHRONOUS, StageClock, WriteBehind
-from repro.simulate.trace import RunTrace
 from repro.simulate.traces import subblock_round_work
 
 
@@ -168,33 +166,14 @@ def pass_subblock(
     _finish_pass(trace, clock)
 
 
-def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
-    fmt = job.fmt
-    plan = job.pipeline_plan()
-    want_trace = comm.rank == 0 and collect_trace
-    marker = PassMarker(comm, stores["input"].disks)
-
-    t1 = new_pass_trace("pass1:steps1-2", "five") if want_trace else None
-    pass_step2_deal(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
-    marker.mark()
-
-    t2 = new_pass_trace("pass2:steps3+3.1(subblock)", "five") if want_trace else None
-    pass_subblock(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
-    marker.mark()
-
-    t3 = new_pass_trace("pass3:steps3.2+4", "five") if want_trace else None
-    pass_step4_deal(comm, stores["t2"], stores["t3"], fmt, t3, plan=plan)
-    marker.mark()
-
-    t4 = new_pass_trace("pass4:steps5-8", "seven") if want_trace else None
-    pass_final_windows(comm, stores["t3"], stores["output"], fmt, t4, plan=plan)
-    marker.mark()
-
-    return {
-        "traces": [t for t in (t1, t2, t3, t4) if t is not None],
-        "comm_per_pass": marker.comm_deltas(),
-        "io_per_pass": marker.io_deltas(),
-    }
+#: The 4-pass program, declaratively (see
+#: :class:`~repro.oocs.base.PassSpec`).
+PASSES = [
+    PassSpec("pass1:steps1-2", "five", pass_step2_deal, "input", "t1"),
+    PassSpec("pass2:steps3+3.1(subblock)", "five", pass_subblock, "t1", "t2"),
+    PassSpec("pass3:steps3.2+4", "five", pass_step4_deal, "t2", "t3"),
+    PassSpec("pass4:steps5-8", "seven", pass_final_windows, "t3", "output"),
+]
 
 
 def subblock_columnsort_ooc(
@@ -202,6 +181,8 @@ def subblock_columnsort_ooc(
     input_store: ColumnStore,
     collect_trace: bool = True,
     keep_intermediates: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> OocResult:
     """Run 4-pass subblock columnsort on ``input_store``.
 
@@ -209,6 +190,8 @@ def subblock_columnsort_ooc(
     ``√s/2`` shorter (problem-size bound (2): ``N ≤ (M/P)^(5/3)/4^(2/3)``)
     at the price of one extra pass of disk I/O — the paper measures it
     at roughly 4/3 the time of threaded columnsort, I/O-bound either way.
+    With ``checkpoint_dir``, a manifest is saved after every pass and
+    ``resume=True`` restarts after the last completed one.
     """
     r, s = derive_shape(job)
     if (input_store.r, input_store.s) != (r, s):
@@ -224,35 +207,13 @@ def subblock_columnsort_ooc(
         "t3": ColumnStore(cluster, fmt, r, s, disks, name="sub-t3"),
         "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
     }
-
-    io_before = IoStats.combine([d.stats for d in disks])
-    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
-    io_after = IoStats.combine([d.stats for d in disks])
-
-    rank0 = res.returns[0]
-    run_trace = None
-    if collect_trace:
-        run_trace = RunTrace(
-            algorithm="subblock",
-            n_records=job.n,
-            record_size=fmt.record_size,
-            p=cluster.p,
-            buffer_bytes=job.buffer_bytes,
-            passes=rank0["traces"],
-        )
-    if not keep_intermediates:
-        for key in ("t1", "t2", "t3"):
-            stores[key].delete()
-
-    return OocResult(
-        algorithm="subblock",
-        job=job,
-        output=stores["output"],
-        passes=4,
-        io={k: io_after[k] - io_before[k] for k in io_after},
-        io_per_pass=rank0["io_per_pass"],
-        comm_per_pass=rank0["comm_per_pass"],
-        comm_total=combined(res.stats),
-        copy=copy,
-        trace=run_trace,
+    return run_pass_program(
+        "subblock",
+        job,
+        stores,
+        PASSES,
+        collect_trace=collect_trace,
+        keep_intermediates=keep_intermediates,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

@@ -10,23 +10,28 @@ yields the problem-size restriction (1):
 
 from __future__ import annotations
 
-from repro.cluster.comm import Comm
-from repro.cluster.stats import combined
+from pathlib import Path
+
 from repro.columnsort.validation import validate_basic
-from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import ColumnStore, PdmStore
 from repro.errors import ConfigError
 from repro.oocs.base import (
     OocJob,
     OocResult,
-    PassMarker,
-    new_pass_trace,
+    PassSpec,
     pass_final_windows,
     pass_step2_deal,
     pass_step4_deal,
-    run_spmd_metered,
+    run_pass_program,
 )
-from repro.simulate.trace import RunTrace
+
+#: The 3-pass program, declaratively (see
+#: :class:`~repro.oocs.base.PassSpec`).
+PASSES = [
+    PassSpec("pass1:steps1-2", "five", pass_step2_deal, "input", "t1"),
+    PassSpec("pass2:steps3-4", "five", pass_step4_deal, "t1", "t2"),
+    PassSpec("pass3:steps5-8", "seven", pass_final_windows, "t2", "output"),
+]
 
 
 def derive_shape(job: OocJob) -> tuple[int, int]:
@@ -49,36 +54,13 @@ def derive_shape(job: OocJob) -> tuple[int, int]:
     return r, s
 
 
-def _rank_program(comm: Comm, job: OocJob, stores: dict, collect_trace: bool) -> dict:
-    fmt = job.fmt
-    plan = job.pipeline_plan()
-    want_trace = comm.rank == 0 and collect_trace
-    marker = PassMarker(comm, stores["input"].disks)
-
-    t1 = new_pass_trace("pass1:steps1-2", "five") if want_trace else None
-    pass_step2_deal(comm, stores["input"], stores["t1"], fmt, t1, plan=plan)
-    marker.mark()
-
-    t2 = new_pass_trace("pass2:steps3-4", "five") if want_trace else None
-    pass_step4_deal(comm, stores["t1"], stores["t2"], fmt, t2, plan=plan)
-    marker.mark()
-
-    t3 = new_pass_trace("pass3:steps5-8", "seven") if want_trace else None
-    pass_final_windows(comm, stores["t2"], stores["output"], fmt, t3, plan=plan)
-    marker.mark()
-
-    return {
-        "traces": [t for t in (t1, t2, t3) if t is not None],
-        "comm_per_pass": marker.comm_deltas(),
-        "io_per_pass": marker.io_deltas(),
-    }
-
-
 def threaded_columnsort_ooc(
     job: OocJob,
     input_store: ColumnStore,
     collect_trace: bool = True,
     keep_intermediates: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> OocResult:
     """Run 3-pass threaded columnsort on ``input_store`` (a column-major
     ``r × s`` matrix store built by
@@ -88,7 +70,9 @@ def threaded_columnsort_ooc(
     PDM-ordered :class:`~repro.disks.matrixfile.PdmStore` on the same
     disks. Intermediate stores are deleted unless ``keep_intermediates``
     (the paper's disk budget was 3× the input size: input + temporary +
-    output, footnote 7).
+    output, footnote 7). With ``checkpoint_dir``, a manifest is saved
+    after every pass and ``resume=True`` restarts after the last
+    completed one.
     """
     r, s = derive_shape(job)
     if (input_store.r, input_store.s) != (r, s):
@@ -103,35 +87,13 @@ def threaded_columnsort_ooc(
         "t2": ColumnStore(cluster, fmt, r, s, disks, name="thr-t2"),
         "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
     }
-
-    io_before = IoStats.combine([d.stats for d in disks])
-    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, collect_trace)
-    io_after = IoStats.combine([d.stats for d in disks])
-
-    rank0 = res.returns[0]
-    run_trace = None
-    if collect_trace:
-        run_trace = RunTrace(
-            algorithm="threaded",
-            n_records=job.n,
-            record_size=fmt.record_size,
-            p=cluster.p,
-            buffer_bytes=job.buffer_bytes,
-            passes=rank0["traces"],
-        )
-    if not keep_intermediates:
-        stores["t1"].delete()
-        stores["t2"].delete()
-
-    return OocResult(
-        algorithm="threaded",
-        job=job,
-        output=stores["output"],
-        passes=3,
-        io={k: io_after[k] - io_before[k] for k in io_after},
-        io_per_pass=rank0["io_per_pass"],
-        comm_per_pass=rank0["comm_per_pass"],
-        comm_total=combined(res.stats),
-        copy=copy,
-        trace=run_trace,
+    return run_pass_program(
+        "threaded",
+        job,
+        stores,
+        PASSES,
+        collect_trace=collect_trace,
+        keep_intermediates=keep_intermediates,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

@@ -1,0 +1,37 @@
+"""Fault tolerance for out-of-core runs: retries, checkpoints, watchdog.
+
+The layer has four pieces, each usable alone:
+
+* :class:`~repro.resilience.faults.FaultPlan` — seeded fault injection
+  (probabilistic, nth-op, transient vs. permanent) shared by the disks
+  and the communication fabric;
+* :class:`~repro.resilience.retry.RetryPolicy` — bounded retry with
+  deterministic backoff, wrapped around disk and mailbox operations;
+* :class:`~repro.resilience.checkpoint.CheckpointStore` — pass-boundary
+  manifests that let a killed multi-pass sort resume byte-identically;
+* :class:`~repro.resilience.watchdog.RankWatchdog` — converts a hung
+  rank into a prompt, structured :class:`~repro.errors.SpmdError`.
+"""
+
+from repro.resilience.checkpoint import (
+    MANIFEST_VERSION,
+    CheckpointStore,
+    pass_manifest,
+    store_digest,
+)
+from repro.resilience.faults import FAULT_OPS, FaultPlan, FaultSpec, transient_plan
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.watchdog import RankWatchdog
+
+__all__ = [
+    "FAULT_OPS",
+    "MANIFEST_VERSION",
+    "CheckpointStore",
+    "FaultPlan",
+    "FaultSpec",
+    "RankWatchdog",
+    "RetryPolicy",
+    "pass_manifest",
+    "store_digest",
+    "transient_plan",
+]

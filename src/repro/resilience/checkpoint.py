@@ -1,0 +1,190 @@
+"""Pass-boundary checkpoints: restart a killed sort at its last pass.
+
+Every out-of-core program is a short sequence of passes, and each pass
+rewrites a whole intermediate store from the previous one. That makes
+the pass boundary a perfect checkpoint: a tiny manifest (pass index,
+matrix shape, the name of the store holding the data, and a content
+digest of that store) is enough to resume, because
+
+* a killed pass can simply be re-run — it reads only the previous
+  store and fully overwrites its own output, and every pass is
+  deterministic given its input bytes, so a resumed run is
+  byte-identical to an uninterrupted one;
+* nothing else needs saving: append cursors, pipeline state, and pool
+  leases are all pass-local.
+
+Manifests are JSON files written atomically (temp file + ``os.replace``)
+under one checkpoint directory, one per completed pass; rank 0 writes
+them inside the pass-boundary barrier so no rank runs ahead of a
+manifest that does not yet exist. On resume the latest manifest is
+validated against the job (algorithm, shape) and the digest of the
+store it names — any mismatch raises
+:class:`~repro.errors.CheckpointError` rather than silently resuming
+from the wrong data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+#: Manifest schema version; bump on incompatible changes.
+MANIFEST_VERSION = 1
+
+
+def store_digest(store) -> str:
+    """Content digest of a matrixfile store: SHA-256 over its files'
+    names and bytes in deterministic (disk, name) order.
+
+    Reads through :meth:`~repro.disks.virtual_disk.VirtualDisk.fingerprint`,
+    which is unmetered — digesting a store must not perturb the
+    byte-exact I/O accounting the integration tests assert.
+    """
+    h = hashlib.sha256()
+    prefix = f"{store.name}."
+    for disk in store.disks:
+        for name in disk.files():
+            if name.startswith(prefix):
+                h.update(f"{disk.disk_id}:{name}:".encode())
+                h.update(disk.fingerprint(name).encode())
+    return h.hexdigest()
+
+
+def pass_manifest(job, algorithm: str, pass_index: int, total_passes: int,
+                  store) -> dict:
+    """The manifest recording that ``pass_index`` completed, leaving its
+    output in ``store``."""
+    return {
+        "version": MANIFEST_VERSION,
+        "algorithm": algorithm,
+        "pass_index": pass_index,
+        "total_passes": total_passes,
+        "n": job.n,
+        "r": store.r if hasattr(store, "r") else None,
+        "s": store.s if hasattr(store, "s") else None,
+        "buffer_records": job.buffer_records,
+        "record_size": job.fmt.record_size,
+        "key": job.fmt.key,
+        "store": store.name,
+        "store_kind": type(store).__name__,
+        "digest": store_digest(store),
+    }
+
+
+class CheckpointStore:
+    """One directory of pass-boundary manifests for one run."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, pass_index: int) -> Path:
+        return self.root / f"pass_{pass_index:04d}.json"
+
+    # -- write -----------------------------------------------------------
+
+    def save(self, manifest: dict) -> None:
+        """Persist one manifest atomically (temp file + rename), so a
+        kill during the write can never leave a torn manifest behind."""
+        path = self._path(manifest["pass_index"])
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+
+    def save_pass(self, job, algorithm: str, pass_index: int,
+                  total_passes: int, store) -> dict:
+        """Build and persist the manifest for one completed pass."""
+        manifest = pass_manifest(job, algorithm, pass_index, total_passes, store)
+        self.save(manifest)
+        return manifest
+
+    # -- read ------------------------------------------------------------
+
+    def manifests(self) -> list[dict]:
+        """All manifests, ascending by pass index. A manifest that does
+        not parse raises :class:`~repro.errors.CheckpointError` (a torn
+        or hand-edited checkpoint directory must not be trusted)."""
+        out = []
+        for path in sorted(self.root.glob("pass_*.json")):
+            try:
+                manifest = json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                raise CheckpointError(
+                    f"unreadable checkpoint manifest {path.name}: {exc}"
+                ) from exc
+            if manifest.get("version") != MANIFEST_VERSION:
+                raise CheckpointError(
+                    f"manifest {path.name} has version "
+                    f"{manifest.get('version')!r}, expected {MANIFEST_VERSION}"
+                )
+            out.append(manifest)
+        return sorted(out, key=lambda m: m["pass_index"])
+
+    def latest(self) -> dict | None:
+        """The highest-numbered manifest, or None for a fresh directory."""
+        manifests = self.manifests()
+        return manifests[-1] if manifests else None
+
+    def protected_stores(self) -> set[str]:
+        """Store names any manifest references — the scratch files a
+        failed run must *keep* so a resume stays possible."""
+        try:
+            return {m["store"] for m in self.manifests()}
+        except CheckpointError:
+            return set()
+
+    def clear(self) -> None:
+        """Remove every manifest (a completed run's checkpoints are
+        garbage)."""
+        for path in self.root.glob("pass_*.json"):
+            path.unlink(missing_ok=True)
+
+    # -- resume ----------------------------------------------------------
+
+    def resume_index(self, job, algorithm: str, stores: dict) -> int:
+        """Validate the latest manifest against ``job`` and the live
+        stores; return the index of the last completed pass (0 = start
+        from scratch).
+
+        ``stores`` maps the run's store keys to store objects; the
+        manifest's store must be among them and its current on-disk
+        digest must match the recorded one.
+        """
+        manifest = self.latest()
+        if manifest is None:
+            return 0
+        if manifest["algorithm"] != algorithm:
+            raise CheckpointError(
+                f"checkpoint is for algorithm {manifest['algorithm']!r}, "
+                f"cannot resume a {algorithm!r} run"
+            )
+        for field, value in (
+            ("n", job.n),
+            ("buffer_records", job.buffer_records),
+            ("record_size", job.fmt.record_size),
+            ("key", job.fmt.key),
+        ):
+            if manifest[field] != value:
+                raise CheckpointError(
+                    f"checkpoint {field}={manifest[field]!r} does not match "
+                    f"the resumed job's {field}={value!r}"
+                )
+        by_name = {store.name: store for store in stores.values()}
+        store = by_name.get(manifest["store"])
+        if store is None:
+            raise CheckpointError(
+                f"checkpoint references store {manifest['store']!r}, which "
+                f"this run does not create"
+            )
+        digest = store_digest(store)
+        if digest != manifest["digest"]:
+            raise CheckpointError(
+                f"store {manifest['store']!r} digest {digest[:12]}… does not "
+                f"match checkpoint {manifest['digest'][:12]}… — the scratch "
+                f"files changed since the checkpoint was written"
+            )
+        return manifest["pass_index"]

@@ -1,0 +1,190 @@
+"""Seeded fault plans: the chaos layer's one source of injected failure.
+
+A :class:`FaultPlan` decides, per operation, whether an injected fault
+fires. It generalizes the old one-shot ``VirtualDisk.inject_fault`` in
+three directions the chaos harness needs:
+
+* **probabilistic faults** — each matching op fails with probability
+  ``p``, drawn from a seeded PRNG so a soak run is exactly
+  reproducible from its seed;
+* **nth-op triggers** — deterministic "fail the 3rd write" plans, the
+  precision tool for kill-and-resume tests;
+* **transient vs. permanent modes** — a *transient* fault marks its
+  exception with ``transient=True`` so a
+  :class:`~repro.resilience.retry.RetryPolicy` may retry the op; a
+  *permanent* fault is never retryable and must surface as a
+  structured failure.
+
+One plan may be shared by many disks and the communication fabric at
+once (its counters are lock-protected); ``snapshot()`` reports how
+often it fired so the chaos harness can assert the run actually saw
+faults.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.errors import CommError, DiskError, ResilienceError
+
+#: Operation kinds a fault spec may target. ``"any"`` matches every
+#: disk op (read and write) but not comm — matching the legacy
+#: ``inject_fault`` contract.
+FAULT_OPS = ("read", "write", "comm", "any")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule inside a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    op:
+        Which operations the rule watches: ``"read"``, ``"write"``,
+        ``"comm"``, or ``"any"`` (any *disk* op).
+    probability:
+        Chance each matching op fails, in ``[0, 1]``. Ignored when
+        ``nth`` is set.
+    nth:
+        Fire deterministically on the nth matching op (1-based, counted
+        per plan), instead of probabilistically.
+    count:
+        Maximum number of times this rule may fire (``None`` =
+        unlimited). A permanent fault with ``count=None`` fails every
+        matching op forever.
+    transient:
+        Transient faults mark their exception ``transient=True`` (a
+        retry may succeed); permanent ones mark it ``False``.
+    """
+
+    op: str = "any"
+    probability: float = 1.0
+    nth: int | None = None
+    count: int | None = 1
+    transient: bool = True
+
+    def __post_init__(self) -> None:
+        if self.op not in FAULT_OPS:
+            raise ResilienceError(f"unknown fault op {self.op!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ResilienceError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.nth is not None and self.nth < 1:
+            raise ResilienceError(f"nth-op trigger must be >= 1, got {self.nth}")
+        if self.count is not None and self.count < 1:
+            raise ResilienceError(f"fault count must be >= 1, got {self.count}")
+
+    def matches(self, op: str) -> bool:
+        if self.op == op:
+            return True
+        return self.op == "any" and op in ("read", "write")
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of injected faults.
+
+    Attach one to a :class:`~repro.disks.virtual_disk.VirtualDisk`
+    (``disk.fault_plan``) and/or a
+    :class:`~repro.cluster.mailbox.MailboxRouter` (``router.fault_plan``);
+    both call :meth:`check` at the top of every operation, before any
+    state changes, so a retried op is indistinguishable from a fresh one.
+    """
+
+    def __init__(self, specs: tuple | list = (), seed: int = 0) -> None:
+        self.seed = seed
+        self._specs: list[FaultSpec] = list(specs)
+        self._fired: dict[int, int] = {}
+        self._ops: dict[str, int] = {}
+        self._faults: dict[str, int] = {}
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """The plan's rules, as an immutable snapshot."""
+        with self._lock:
+            return tuple(self._specs)
+
+    def add(self, spec: FaultSpec) -> None:
+        """Append one more rule to the plan."""
+        with self._lock:
+            self._specs.append(spec)
+
+    def arm_once(self, op: str) -> None:
+        """The legacy ``inject_fault`` contract: the next matching op
+        fails, permanently (not retryable), exactly once."""
+        self.add(FaultSpec(op=op, probability=1.0, count=1, transient=False))
+
+    def _error(self, op: str, spec: FaultSpec, where: str):
+        mode = "transient" if spec.transient else "permanent"
+        if op == "comm":
+            exc: Exception = CommError(f"injected {mode} comm fault {where}")
+        else:
+            exc = DiskError(f"injected {op} fault {where} ({mode})")
+        exc.transient = spec.transient
+        return exc
+
+    def check(self, op: str, where: str = "") -> None:
+        """Raise an injected fault if a rule fires for this op.
+
+        Disk ops raise :class:`~repro.errors.DiskError`, comm ops
+        :class:`~repro.errors.CommError`; either way the exception
+        carries ``transient`` so a retry policy can classify it. Called
+        before the op has any side effect, so retrying after a
+        transient fault is always safe.
+        """
+        with self._lock:
+            n = self._ops.get(op, 0) + 1
+            self._ops[op] = n
+            for i, spec in enumerate(self._specs):
+                if not spec.matches(op):
+                    continue
+                fired = self._fired.get(i, 0)
+                if spec.count is not None and fired >= spec.count:
+                    continue
+                if spec.nth is not None:
+                    hit = n == spec.nth
+                else:
+                    hit = self._rng.random() < spec.probability
+                if hit:
+                    self._fired[i] = fired + 1
+                    self._faults[op] = self._faults.get(op, 0) + 1
+                    raise self._error(op, spec, where)
+
+    def snapshot(self) -> dict:
+        """Ops seen and faults fired, per op kind."""
+        with self._lock:
+            return {
+                "ops": dict(self._ops),
+                "faults": dict(self._faults),
+                "fired_total": sum(self._fired.values()),
+            }
+
+    def reset_counters(self) -> None:
+        """Clear op/fired counters and re-seed the PRNG (rules stay)."""
+        with self._lock:
+            self._fired.clear()
+            self._ops.clear()
+            self._faults.clear()
+            self._rng = random.Random(self.seed)
+
+
+def transient_plan(
+    read_p: float = 0.0,
+    write_p: float = 0.0,
+    comm_p: float = 0.0,
+    seed: int = 0,
+    count: int | None = None,
+) -> FaultPlan:
+    """A plan of independent transient faults at the given per-op rates
+    — the chaos harness's 'survivable weather' preset."""
+    specs = []
+    for op, p in (("read", read_p), ("write", write_p), ("comm", comm_p)):
+        if p > 0:
+            specs.append(
+                FaultSpec(op=op, probability=p, count=count, transient=True)
+            )
+    return FaultPlan(specs, seed=seed)

@@ -1,0 +1,95 @@
+"""Rank watchdog: turn a hung SPMD run into a prompt structured failure.
+
+Each mailbox operation stamps a per-rank activity time in the
+:class:`~repro.cluster.mailbox.MailboxRouter`. The watchdog is one
+daemon thread that polls those stamps; when every live, unfinished
+rank has been silent past the deadline, the quietest rank (oldest
+stamp, ties to the lowest rank) is declared stuck. The watchdog then
+
+* records a :class:`~repro.errors.WatchdogTimeout` naming that rank,
+* closes the router, which unblocks every sibling rank waiting in a
+  receive (they fail with shutdown-collateral ``CommError``), and
+* lets ``run_spmd`` abandon any rank thread that *still* will not
+  exit (rank threads are daemons, so a thread stuck in a sleep or a
+  hung syscall cannot keep the process alive).
+
+The driver therefore always gets a single
+:class:`~repro.errors.SpmdError` whose cause names the stuck rank,
+within roughly ``deadline_s`` plus one poll interval, instead of
+hanging forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import WatchdogTimeout
+
+
+class RankWatchdog:
+    """Monitors rank liveness through router activity stamps.
+
+    Parameters
+    ----------
+    router:
+        The run's :class:`~repro.cluster.mailbox.MailboxRouter`; its
+        ``activity()`` map and ``close()`` are the whole interface.
+    deadline_s:
+        Seconds of universal silence before the run is declared stuck.
+    poll_s:
+        Poll interval; defaults to ``deadline_s / 10`` capped at 0.25 s.
+    """
+
+    def __init__(self, router, deadline_s: float, poll_s: float | None = None) -> None:
+        self.router = router
+        self.deadline_s = float(deadline_s)
+        self.poll_s = poll_s if poll_s is not None else min(self.deadline_s / 10, 0.25)
+        self.error: WatchdogTimeout | None = None
+        self.fired = threading.Event()
+        self._done: set[int] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._watch, name="rank-watchdog", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def rank_done(self, rank: int) -> None:
+        """A rank finished (or failed) on its own; stop watching it."""
+        with self._lock:
+            self._done.add(rank)
+
+    def stop(self) -> None:
+        """Shut the watchdog down (normal end of run)."""
+        self._stop.set()
+        self._thread.join(timeout=self.poll_s + 1.0)
+
+    # -- internals -------------------------------------------------------
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            now = time.monotonic()
+            with self._lock:
+                done = set(self._done)
+            stamps = {
+                rank: stamp
+                for rank, stamp in self.router.activity().items()
+                if rank not in done
+            }
+            if not stamps:
+                continue
+            # The run is stuck only when *no* watched rank is making
+            # progress; a slow-but-active run must never trip the
+            # watchdog just because one rank waits on another.
+            if any(now - stamp < self.deadline_s for stamp in stamps.values()):
+                continue
+            stuck = min(stamps, key=lambda r: (stamps[r], r))
+            self.error = WatchdogTimeout(
+                stuck, now - stamps[stuck], self.deadline_s
+            )
+            self.fired.set()
+            self.router.close()
+            return

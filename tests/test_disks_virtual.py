@@ -78,6 +78,7 @@ class TestAccounting:
         snap = disk.stats.snapshot()
         assert snap == {
             "reads": 1, "writes": 2, "bytes_read": 6, "bytes_written": 6,
+            "read_retries": 0, "write_retries": 0,
         }
 
     def test_combine(self, tmp_path):

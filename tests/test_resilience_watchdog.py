@@ -1,0 +1,121 @@
+"""RankWatchdog: a hung world becomes a prompt structured SpmdError.
+
+Every test here is wrapped in the conftest SIGALRM guard — the whole
+point of the watchdog is that these scenarios *return* instead of
+hanging, so a test that hangs is itself the failure.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.spmd import run_spmd
+from repro.errors import SpmdError, WatchdogTimeout
+from tests.conftest import alarm_timeout
+from tests.test_failure_injection import assert_no_new_threads
+
+
+class TestStuckRank:
+    def test_blocked_receive_names_stuck_rank(self):
+        """Rank 1 waits for a message nobody sends; siblings finish. The
+        watchdog must name rank 1 and close the world so its receive
+        unblocks — no leaked thread."""
+        before = set(threading.enumerate())
+
+        def program(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, tag=7)  # never sent
+            return comm.rank
+
+        with alarm_timeout(30, "watchdog failed to abort a stuck world"):
+            with pytest.raises(SpmdError) as err:
+                run_spmd(3, program, watchdog_deadline=1.0)
+        assert isinstance(err.value.cause, WatchdogTimeout)
+        assert err.value.rank == 1
+        assert err.value.cause.rank == 1
+        assert err.value.cause.idle_s >= 1.0
+        assert_no_new_threads(before)
+
+    def test_wedged_rank_is_abandoned_not_waited_for(self):
+        """A rank silent outside the comm layer entirely (no receive to
+        unblock) is abandoned after the grace period; the caller still
+        gets the structured error promptly."""
+        release = threading.Event()
+
+        def program(comm):
+            if comm.rank == 0:
+                release.wait(timeout=30)  # silent: no mailbox traffic
+            return comm.rank
+
+        try:
+            start = time.monotonic()
+            with alarm_timeout(30, "watchdog failed to abandon a wedged rank"):
+                with pytest.raises(SpmdError) as err:
+                    run_spmd(2, program, watchdog_deadline=1.0)
+            elapsed = time.monotonic() - start
+            assert isinstance(err.value.cause, WatchdogTimeout)
+            assert err.value.rank == 0
+            # deadline (1s) + poll + 2s grace + slack: well under the wait
+            assert elapsed < 10.0
+        finally:
+            release.set()  # let the abandoned daemon thread exit
+
+    def test_all_ranks_stuck_blames_lowest(self):
+        def program(comm):
+            comm.recv(source=(comm.rank + 1) % 2, tag=5)  # mutual deadlock
+
+        with alarm_timeout(30, "watchdog failed on a deadlocked world"):
+            with pytest.raises(SpmdError) as err:
+                run_spmd(2, program, watchdog_deadline=1.0)
+        assert isinstance(err.value.cause, WatchdogTimeout)
+        assert err.value.rank == 0  # tie in stamps resolves to lowest rank
+
+
+class TestNoFalsePositives:
+    def test_slow_but_active_run_never_trips(self):
+        """Ranks chatting slower than the deadline but never silent for
+        a full deadline must complete normally."""
+
+        def program(comm):
+            other = 1 - comm.rank
+            for i in range(4):
+                time.sleep(0.2)  # deadline is 0.8 — each op resets the clock
+                comm.sendrecv(i, other, source=other, tag=i)
+            return comm.rank
+
+        with alarm_timeout(30, "active run tripped the watchdog"):
+            res = run_spmd(2, program, watchdog_deadline=0.8)
+        assert res.returns == [0, 1]
+
+    def test_no_watchdog_without_deadline(self):
+        before = set(threading.enumerate())
+        res = run_spmd(2, lambda comm: comm.rank)
+        assert res.returns == [0, 1]
+        assert_no_new_threads(before)
+        assert not any(
+            t.name == "rank-watchdog" for t in threading.enumerate()
+        )
+
+    def test_watchdog_thread_stops_after_clean_run(self):
+        before = set(threading.enumerate())
+        res = run_spmd(2, lambda comm: comm.rank, watchdog_deadline=5.0)
+        assert res.returns == [0, 1]
+        assert_no_new_threads(before)
+
+
+class TestGenuineFailureOutranksWatchdog:
+    def test_raising_rank_beats_watchdog_verdict(self):
+        """If a rank raises and another hangs, the genuine exception is
+        the reported cause, not the watchdog's timeout."""
+
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("genuine failure")
+            comm.recv(source=1, tag=3)  # unblocked by the shutdown
+
+        with alarm_timeout(30, "mixed failure world hung"):
+            with pytest.raises(SpmdError) as err:
+                run_spmd(2, program, watchdog_deadline=2.0)
+        assert err.value.rank == 1
+        assert isinstance(err.value.cause, ValueError)
