@@ -10,11 +10,16 @@ whole contract:
 * **permanent plans** — the run fails with a structured
   :class:`~repro.errors.SpmdError` naming a rank, within the watchdog
   deadline — never a hang, never silent corruption;
-* **always** — no leaked buffer-pool leases and no leaked threads.
+* **disk-kill plans** (``--parity``) — one disk suffers permanent
+  faults mid-pass and never recovers: with parity the run completes
+  *byte-identically in degraded mode* with visible reconstruction
+  counters; without parity it fails structurally within the deadline;
+* **always** — no leaked buffer-pool leases, threads, or quarantines.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_chaos.py --quick
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick --parity
     PYTHONPATH=src python benchmarks/bench_chaos.py --seeds 8  # wider sweep
 """
 
@@ -31,7 +36,14 @@ from repro.membuf import get_pool
 from repro.oocs.api import sort_out_of_core
 from repro.records.format import RecordFormat
 from repro.records.generators import generate
-from repro.resilience import FaultPlan, FaultSpec, RetryPolicy, transient_plan
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    active_quarantines,
+    release_all_quarantines,
+    transient_plan,
+)
 
 FMT = RecordFormat("u8", 64)
 
@@ -52,13 +64,15 @@ def records_for(algorithm: str, seed: int):
     return generate("uniform", FMT, n, seed=seed)
 
 
-def run_sort(algorithm: str, records, depth: int, plan=None, policy=None):
+def run_sort(algorithm: str, records, depth: int, plan=None, policy=None,
+             parity=False):
     p, buf, _, _ = CONFIGS[algorithm]
     cluster = ClusterConfig(p=p, mem_per_proc=2**12)
     return sort_out_of_core(
         algorithm, records, cluster, FMT, buffer_records=buf,
         pipeline_depth=depth, fault_plan=plan, retry_policy=policy,
         watchdog_deadline=WATCHDOG_DEADLINE if plan is not None else None,
+        parity=parity,
     )
 
 
@@ -147,6 +161,93 @@ def chaos_case(algorithm: str, depth: int, seed: int) -> list[str]:
     return failures
 
 
+def disk_kill_plan(seed: int) -> FaultPlan:
+    """Disk 1 starts failing permanently at its ``3+seed``-th read and
+    never answers again — the 'medium died mid-pass' scenario."""
+    return FaultPlan(
+        [FaultSpec(op="read", probability=1.0, nth=3 + seed, count=None,
+                   transient=False, disk=1)],
+        seed=seed,
+    )
+
+
+def disk_kill_case(algorithm: str, depth: int, seed: int) -> list[str]:
+    """One algorithm losing a disk mid-pass, with and without parity."""
+    failures: list[str] = []
+    tag = f"{algorithm} depth={depth} seed={seed} [disk-kill]"
+    records = records_for(algorithm, seed)
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.0005, seed=seed)
+    expected = run_sort(algorithm, records, depth).output_records().tobytes()
+
+    # -- parity on: must complete byte-identically in degraded mode --
+    before = set(threading.enumerate())
+    t0 = time.perf_counter()
+    try:
+        res = run_sort(algorithm, records, depth, plan=disk_kill_plan(seed),
+                       policy=policy, parity=True)
+    except SpmdError as exc:
+        failures.append(
+            f"{tag}: parity run died instead of degrading: {exc.cause!r}"
+        )
+    else:
+        wall = time.perf_counter() - t0
+        dur = res.durability
+        if res.output_records().tobytes() != expected:
+            failures.append(f"{tag}: degraded output diverged")
+        if dur.get("degraded_disks") != [1]:
+            failures.append(
+                f"{tag}: expected disk 1 degraded, got "
+                f"{dur.get('degraded_disks')}"
+            )
+        if not dur.get("reconstructed_blocks"):
+            failures.append(f"{tag}: degraded run reconstructed no blocks")
+        print(
+            f"  {tag}: parity ok — degraded disks {dur.get('degraded_disks')}, "
+            f"{dur.get('reconstructed_blocks')} blocks reconstructed, "
+            f"{dur.get('spare_writes')} spare writes, {wall * 1000:.0f} ms"
+        )
+        res.output.delete()
+        res.release_durability()
+    if active_quarantines():
+        release_all_quarantines()
+        failures.append(f"{tag}: leaked quarantines after parity run")
+    if get_pool().outstanding():
+        get_pool().forget_leases()
+        failures.append(f"{tag}: leaked pool leases after parity run")
+    leftover = wind_down_threads(before)
+    if leftover:
+        failures.append(f"{tag}: leaked threads after parity run: {leftover}")
+
+    # -- parity off: must fail structurally within the deadline --
+    before = set(threading.enumerate())
+    t0 = time.perf_counter()
+    try:
+        res = run_sort(algorithm, records, depth, plan=disk_kill_plan(seed),
+                       policy=policy)
+    except SpmdError as exc:
+        wall = time.perf_counter() - t0
+        if wall > WATCHDOG_DEADLINE + 5.0:
+            failures.append(
+                f"{tag}: parity-off failure took {wall:.1f}s "
+                f"(watchdog deadline {WATCHDOG_DEADLINE}s)"
+            )
+        print(
+            f"  {tag}: parity-off ok — rank {exc.rank} failed with "
+            f"{type(exc.cause).__name__} in {wall * 1000:.0f} ms"
+        )
+    else:
+        failures.append(f"{tag}: disk kill without parity did not fail")
+        res.output.delete()
+    release_all_quarantines()
+    if get_pool().outstanding():
+        get_pool().forget_leases()
+        failures.append(f"{tag}: leaked pool leases after parity-off run")
+    leftover = wind_down_threads(before)
+    if leftover:
+        failures.append(f"{tag}: leaked threads after parity-off run: {leftover}")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -155,6 +256,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fault-plan seeds per algorithm (full mode)")
     parser.add_argument("--seed-base", type=int, default=1,
                         help="first seed (fixed in CI for reproducibility)")
+    parser.add_argument("--parity", action="store_true",
+                        help="also run the permanent disk-kill scenarios "
+                             "(degraded-mode with parity, structural "
+                             "failure without)")
     args = parser.parse_args(argv)
 
     seeds = [args.seed_base] if args.quick else [
@@ -165,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
         for depth in (0, 2):
             for seed in seeds:
                 failures.extend(chaos_case(algorithm, depth, seed))
+                if args.parity:
+                    failures.extend(disk_kill_case(algorithm, depth, seed))
     if failures:
         print(f"\n{len(failures)} chaos failure(s):")
         for line in failures:

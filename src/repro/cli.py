@@ -119,6 +119,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         workdir=args.workdir, pipeline_depth=args.pipeline_depth,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         retry_policy=retry_policy,
+        parity=args.parity, audit=args.audit,
     )
     io = result.io
     print(
@@ -157,6 +158,19 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         print(f"  stage wall (rank 0, {total * 1000:.1f} ms): {breakdown}")
     if args.copy_stats:
         _print_copy_stats(result)
+    if args.durability_report:
+        from repro.experiments.breakdown import durability_breakdown_table
+        from repro.experiments.tables import render_table
+
+        rows = durability_breakdown_table(result)
+        if rows:
+            print(render_table(rows))
+        else:
+            print(
+                "  durability: no layer attached "
+                "(run with --parity and/or --audit)"
+            )
+    result.release_durability()
     return 0
 
 
@@ -229,6 +243,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="max attempts per disk/comm operation (1 = no retry); "
              "transient faults are retried with seeded exponential backoff",
+    )
+    srt.add_argument(
+        "--parity", action="store_true",
+        help="maintain an XOR parity stripe across the disk array: corrupt "
+             "blocks are repaired in place, and a disk lost to permanent "
+             "faults is served in degraded mode from the surviving D-1 disks",
+    )
+    srt.add_argument(
+        "--audit", action="store_true",
+        help="verify sampled columnsort invariants of every pass's output "
+             "at the pass boundary, before its checkpoint is trusted",
+    )
+    srt.add_argument(
+        "--durability-report", action="store_true",
+        help="print the durability breakdown (bytes hashed, corruption "
+             "caught/repaired, degraded-mode service, parity overhead)",
     )
     srt.set_defaults(fn=_cmd_sort)
 

@@ -34,11 +34,22 @@ from repro.errors import CommError, ConfigError, SpmdError, WatchdogTimeout
 
 @dataclass
 class SpmdResult:
-    """Results of one SPMD run: per-rank return values and comm stats."""
+    """Results of one SPMD run: per-rank return values and comm stats.
+
+    When the run was given a
+    :class:`~repro.resilience.quarantine.DiskQuarantine` the durability
+    counters are filled in: ``degraded_disks`` (disk ids declared dead
+    during or before the run), ``reconstructed_blocks`` (parity
+    reconstructions served), and ``checksum_failures`` (block CRC
+    mismatches detected).
+    """
 
     returns: list
     stats: list[CommStats]
     comm_retries: int = field(default=0)
+    degraded_disks: list[int] = field(default_factory=list)
+    reconstructed_blocks: int = field(default=0)
+    checksum_failures: int = field(default=0)
 
     def total_network_bytes(self) -> int:
         return sum(s.snapshot()["network_bytes"] for s in self.stats)
@@ -62,6 +73,7 @@ def run_spmd(
     watchdog_deadline: float | None = None,
     fault_plan=None,
     retry_policy=None,
+    quarantine=None,
     **kwargs,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` ranks.
@@ -89,6 +101,10 @@ def run_spmd(
         Optional :class:`~repro.resilience.retry.RetryPolicy` retrying
         transient comm faults; retry counts surface as
         ``SpmdResult.comm_retries``.
+    quarantine:
+        Optional :class:`~repro.resilience.quarantine.DiskQuarantine`
+        shared with the run's disks; its counters are snapshotted into
+        the result's durability fields.
 
     Returns
     -------
@@ -186,4 +202,12 @@ def run_spmd(
         )
         rank, cause = ranked[0]
         raise SpmdError(rank, cause) from cause
-    return SpmdResult(returns=returns, stats=stats, comm_retries=router.comm_retries)
+    result = SpmdResult(
+        returns=returns, stats=stats, comm_retries=router.comm_retries
+    )
+    if quarantine is not None:
+        snap = quarantine.snapshot()
+        result.degraded_disks = snap["degraded_disks"]
+        result.reconstructed_blocks = snap["reconstructed_blocks"]
+        result.checksum_failures = snap["checksum_failures"]
+    return result

@@ -5,12 +5,31 @@ writes it back once. The integration tests assert pass counts from these
 counters: threaded columnsort must move exactly ``3·N`` records through
 read and write, subblock columnsort ``4·N``, M-columnsort ``3·N``.
 Counters are thread-safe because each rank runs on its own thread.
+
+``bytes_hashed`` and ``checksum_failures`` meter the durability layer's
+verification overhead: bytes fed through the block-checksum CRC on both
+the write (compute) and read (verify) sides, and reads whose stored CRC
+did not match. They deliberately do not perturb ``reads``/``writes`` or
+the byte totals — hashing is not data movement, so the pass-count
+invariants stay exact with checksums on.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+
+#: Every counter key in a snapshot/combine, in display order.
+IO_KEYS = (
+    "reads",
+    "writes",
+    "bytes_read",
+    "bytes_written",
+    "read_retries",
+    "write_retries",
+    "bytes_hashed",
+    "checksum_failures",
+)
 
 
 @dataclass
@@ -23,6 +42,8 @@ class IoStats:
     bytes_written: int = 0
     read_retries: int = 0
     write_retries: int = 0
+    bytes_hashed: int = 0
+    checksum_failures: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_read(self, nbytes: int) -> None:
@@ -46,6 +67,16 @@ class IoStats:
             else:
                 self.write_retries += 1
 
+    def record_hashed(self, nbytes: int) -> None:
+        """Count bytes run through the block checksum (write-side
+        compute and read-side verify alike)."""
+        with self._lock:
+            self.bytes_hashed += nbytes
+
+    def record_checksum_failure(self, n: int = 1) -> None:
+        with self._lock:
+            self.checksum_failures += n
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -55,6 +86,8 @@ class IoStats:
                 "bytes_written": self.bytes_written,
                 "read_retries": self.read_retries,
                 "write_retries": self.write_retries,
+                "bytes_hashed": self.bytes_hashed,
+                "checksum_failures": self.checksum_failures,
             }
 
     def reset(self) -> None:
@@ -65,18 +98,13 @@ class IoStats:
             self.bytes_written = 0
             self.read_retries = 0
             self.write_retries = 0
+            self.bytes_hashed = 0
+            self.checksum_failures = 0
 
     @staticmethod
     def combine(stats: list["IoStats"]) -> dict:
         """Aggregate totals across disks."""
-        total = {
-            "reads": 0,
-            "writes": 0,
-            "bytes_read": 0,
-            "bytes_written": 0,
-            "read_retries": 0,
-            "write_retries": 0,
-        }
+        total = {key: 0 for key in IO_KEYS}
         for s in stats:
             snap = s.snapshot()
             for key in total:

@@ -40,11 +40,18 @@ class _StoreBase:
         fmt: RecordFormat,
         disks: list[VirtualDisk],
         name: str,
+        parity: bool = False,
     ) -> None:
         if len(disks) != cfg.virtual_disks:
             raise ConfigError(
                 f"store needs {cfg.virtual_disks} disks, got {len(disks)}"
             )
+        if parity:
+            # Opt-in durability: one XOR parity domain shared by the
+            # whole disk array (idempotent across stores on it).
+            from repro.durability import attach_durability
+
+            attach_durability(disks, parity=True)
         self.cfg = cfg
         self.fmt = fmt
         self.disks = disks
@@ -113,8 +120,9 @@ class ColumnStore(_StoreBase):
         s: int,
         disks: list[VirtualDisk],
         name: str = "matrix",
+        parity: bool = False,
     ) -> None:
-        super().__init__(cfg, fmt, disks, name)
+        super().__init__(cfg, fmt, disks, name, parity=parity)
         if s % cfg.p:
             raise ConfigError(
                 f"P={cfg.p} must divide the number of columns s={s}"
@@ -225,6 +233,7 @@ class ColumnStore(_StoreBase):
         s: int,
         disks: list[VirtualDisk],
         name: str = "input",
+        parity: bool = False,
     ) -> "ColumnStore":
         """Create a store holding ``records`` in column-major order:
         column ``j`` is ``records[j·r : (j+1)·r]``."""
@@ -232,7 +241,7 @@ class ColumnStore(_StoreBase):
             raise ConfigError(
                 f"need exactly r·s={r * s} records, got {len(records)}"
             )
-        store = cls(cfg, fmt, r, s, disks, name)
+        store = cls(cfg, fmt, r, s, disks, name, parity=parity)
         for j in range(s):
             store.write_column(store.owner(j), j, records[j * r : (j + 1) * r])
         return store
@@ -263,8 +272,9 @@ class StripedColumnStore(_StoreBase):
         s: int,
         disks: list[VirtualDisk],
         name: str = "mmatrix",
+        parity: bool = False,
     ) -> None:
-        super().__init__(cfg, fmt, disks, name)
+        super().__init__(cfg, fmt, disks, name, parity=parity)
         if r % cfg.p:
             raise ConfigError(f"P={cfg.p} must divide the column height r={r}")
         self.r = r
@@ -353,11 +363,12 @@ class StripedColumnStore(_StoreBase):
         s: int,
         disks: list[VirtualDisk],
         name: str = "minput",
+        parity: bool = False,
     ) -> "StripedColumnStore":
         """Create a store holding ``records`` in column-major order."""
         if len(records) != r * s:
             raise ConfigError(f"need exactly r·s={r * s} records, got {len(records)}")
-        store = cls(cfg, fmt, r, s, disks, name)
+        store = cls(cfg, fmt, r, s, disks, name, parity=parity)
         for j in range(s):
             col = records[j * r : (j + 1) * r]
             for p in range(cfg.p):
@@ -403,8 +414,9 @@ class GroupColumnStore(_StoreBase):
         disks: list[VirtualDisk],
         group_size: int,
         name: str = "gmatrix",
+        parity: bool = False,
     ) -> None:
-        super().__init__(cfg, fmt, disks, name)
+        super().__init__(cfg, fmt, disks, name, parity=parity)
         if group_size < 1 or cfg.p % group_size:
             raise ConfigError(
                 f"group size g={group_size} must divide P={cfg.p}"
@@ -518,10 +530,11 @@ class GroupColumnStore(_StoreBase):
         disks: list[VirtualDisk],
         group_size: int,
         name: str = "ginput",
+        parity: bool = False,
     ) -> "GroupColumnStore":
         if len(records) != r * s:
             raise ConfigError(f"need exactly r·s={r * s} records, got {len(records)}")
-        store = cls(cfg, fmt, r, s, disks, group_size, name)
+        store = cls(cfg, fmt, r, s, disks, group_size, name, parity=parity)
         for j in range(s):
             col = records[j * r : (j + 1) * r]
             for member in range(group_size):
@@ -564,8 +577,9 @@ class PdmStore(_StoreBase):
         disks: list[VirtualDisk],
         block_records: int,
         name: str = "output",
+        parity: bool = False,
     ) -> None:
-        super().__init__(cfg, fmt, disks, name)
+        super().__init__(cfg, fmt, disks, name, parity=parity)
         if block_records <= 0:
             raise ConfigError(f"block size must be positive, got {block_records}")
         self.n = n

@@ -11,18 +11,29 @@ and fault injection through an attached
 :class:`~repro.resilience.faults.FaultPlan`. An attached
 :class:`~repro.resilience.retry.RetryPolicy` makes ``read_at`` /
 ``write_at`` retry transient faults with metered retry counts.
+
+Durability (always on): every write records a per-extent block CRC in a
+:class:`~repro.durability.checksums.BlockChecksums` sidecar catalog and
+every read verifies the extents tiling the range, raising
+:class:`~repro.errors.CorruptionError` on a mismatch. Durability
+(opt-in, via :func:`~repro.durability.parity.attach_durability`): a
+``quarantine`` marks this disk dead after enough permanent faults, and
+a ``parity_layer`` then serves its reads by online reconstruction into
+a ``.spare/`` region, reroutes its writes there, and repairs corrupt
+blocks in place — degraded-mode execution instead of an abort.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
 import threading
 import time
 from pathlib import Path
 
 from repro.disks.iostats import IoStats
-from repro.errors import DiskError, DiskFullError
+from repro.durability.checksums import BlockChecksums
+from repro.durability.hashing import file_digest
+from repro.errors import CorruptionError, DiskError, DiskFullError
 
 
 class VirtualDisk:
@@ -42,12 +53,15 @@ class VirtualDisk:
         Optional shared :class:`IoStats`; a private one is created
         otherwise.
 
-    Two optional attributes hook in the resilience layer:
-    ``fault_plan`` (a :class:`~repro.resilience.faults.FaultPlan`
-    consulted at the top of every read/write, before side effects) and
-    ``retry_policy`` (a :class:`~repro.resilience.retry.RetryPolicy`
-    that retries transient failures, metering each retry into
-    :attr:`stats`).
+    Four optional attributes hook in the resilience and durability
+    layers: ``fault_plan`` (a
+    :class:`~repro.resilience.faults.FaultPlan` consulted at the top of
+    every read/write, before side effects), ``retry_policy`` (a
+    :class:`~repro.resilience.retry.RetryPolicy` that retries transient
+    failures, metering each retry into :attr:`stats`), ``quarantine``
+    (a :class:`~repro.resilience.quarantine.DiskQuarantine` shared by
+    the array) and ``parity_layer`` (a
+    :class:`~repro.durability.parity.ParityLayer`).
     """
 
     def __init__(
@@ -65,6 +79,9 @@ class VirtualDisk:
         self.read_only = False
         self.fault_plan = None
         self.retry_policy = None
+        self.quarantine = None
+        self.parity_layer = None
+        self.checksums = BlockChecksums(self.root)
         self._lock = threading.Lock()
         self._sizes: dict[str, int] = {}
         for path in self.root.iterdir():
@@ -81,7 +98,12 @@ class VirtualDisk:
     def _consume_fault(self, op: str) -> None:
         plan = self.fault_plan
         if plan is not None:
-            plan.check(op, where=f"on disk {self.disk_id}")
+            plan.check(op, where=f"on disk {self.disk_id}", disk_id=self.disk_id)
+
+    def _degraded(self) -> bool:
+        """True when this disk has been declared dead by the quarantine."""
+        quarantine = self.quarantine
+        return quarantine is not None and quarantine.is_dead(self.disk_id)
 
     def inject_fault(self, op: str = "any") -> None:
         """Make the next operation of kind ``op`` (``"read"``, ``"write"``
@@ -103,19 +125,56 @@ class VirtualDisk:
         self.fault_plan.arm_once(op)
 
     def _run_op(self, op: str, fn):
-        """Run one read/write body under the fault plan and retry policy.
+        """Run one read/write body under the fault plan, quarantine,
+        parity repair, and retry policy.
 
         The fault check happens *before* ``fn`` on every attempt, so an
         injected fault never leaves a half-applied operation behind and
-        a retried op is indistinguishable from a fresh one.
+        a retried op is indistinguishable from a fresh one. A dead disk
+        skips the fault plan entirely (its medium is gone; the op is
+        served from parity/spare, or fails fast without one).
         """
         policy = self.retry_policy
         attempt = 1
+        repaired = False
+        rerouted = False
         while True:
             try:
-                self._consume_fault(op)
+                if self._degraded():
+                    if self.parity_layer is None:
+                        raise DiskError(
+                            f"disk {self.disk_id} is quarantined dead and no "
+                            "parity layer is attached to serve it"
+                        )
+                else:
+                    self._consume_fault(op)
                 return fn()
             except BaseException as exc:
+                # A permanent disk fault feeds the quarantine; if this
+                # disk just crossed the death threshold and parity can
+                # serve it, re-run the op once in degraded mode.
+                if (
+                    isinstance(exc, DiskError)
+                    and getattr(exc, "transient", None) is False
+                    and self.quarantine is not None
+                    and not rerouted
+                ):
+                    self.quarantine.record_permanent(self.disk_id)
+                    if self.parity_layer is not None and self._degraded():
+                        rerouted = True
+                        continue
+                # A repairable corruption is rebuilt from parity once,
+                # then the read retried ("retryable-with-repair").
+                if (
+                    isinstance(exc, CorruptionError)
+                    and exc.repairable
+                    and not repaired
+                    and self.parity_layer is not None
+                ):
+                    repaired = True
+                    self.parity_layer.repair(self, exc.name, exc.extents)
+                    self.stats.record_retry(op)
+                    continue
                 if (
                     policy is None
                     or attempt >= policy.max_attempts
@@ -145,6 +204,21 @@ class VirtualDisk:
 
     # ------------------------------------------------------------------
 
+    def _verify(self, name: str, offset: int, view) -> None:
+        """Check the read bytes against the block-checksum catalog."""
+        bad, hashed = self.checksums.verify(name, offset, view)
+        if hashed:
+            self.stats.record_hashed(hashed)
+        if bad:
+            self.stats.record_checksum_failure(len(bad))
+            if self.quarantine is not None:
+                self.quarantine.record_checksum_failure(self.disk_id, len(bad))
+            layer = self.parity_layer
+            repairable = layer is not None and layer.can_repair(
+                self.disk_id, name, bad
+            )
+            raise CorruptionError(self.disk_id, name, bad, repairable=repairable)
+
     def write_at(
         self, name: str, offset: int, data: bytes | bytearray | memoryview
     ) -> None:
@@ -161,6 +235,8 @@ class VirtualDisk:
         nbytes = memoryview(data).nbytes
 
         def body() -> None:
+            layer = self.parity_layer
+            degraded = self._degraded()
             with self._lock:
                 old_size = self._sizes.get(name, 0)
                 new_size = max(old_size, offset + nbytes)
@@ -171,8 +247,21 @@ class VirtualDisk:
                             f"disk {self.disk_id} full: cannot grow {name!r} by "
                             f"{grow} bytes (capacity {self.capacity_bytes})"
                         )
-                mode = "r+b" if path.exists() else "w+b"
-                with open(path, mode) as fh:
+                if degraded:
+                    # The medium is gone: surviving content is faulted
+                    # into the spare region first, then the write lands
+                    # there too.
+                    target = layer.ensure_spare(self, name, old_size)
+                    self.quarantine.record_spare_write()
+                else:
+                    target = path
+                if layer is not None:
+                    # Parity folds stale overlapped extents out (it reads
+                    # their pre-write bytes), so this must precede the
+                    # file write.
+                    layer.on_write(self, name, offset, data, spare=degraded)
+                mode = "r+b" if target.exists() else "w+b"
+                with open(target, mode) as fh:
                     if offset > old_size:
                         # Explicitly zero-fill the gap so reads are defined.
                         fh.seek(old_size)
@@ -180,6 +269,7 @@ class VirtualDisk:
                     fh.seek(offset)
                     fh.write(data)
                 self._sizes[name] = new_size
+                self.stats.record_hashed(self.checksums.record(name, offset, data))
             self.stats.record_write(nbytes)
 
         self._run_op("write", body)
@@ -188,7 +278,8 @@ class VirtualDisk:
         self, name: str, offset: int, nbytes: int, out: "object | None" = None
     ) -> object:
         """Read exactly ``nbytes`` from byte ``offset``; raises
-        :class:`DiskError` on a short read.
+        :class:`DiskError` on a short read, :class:`CorruptionError` if
+        a cataloged block checksum does not match the bytes read.
 
         With ``out`` (a writable buffer of exactly ``nbytes`` — e.g. a
         pooled record array), bytes land directly in it via ``readinto``
@@ -198,15 +289,25 @@ class VirtualDisk:
         path = self._path(name)
 
         def body() -> object:
-            if not path.exists():
-                raise DiskError(f"no object {name!r} on disk {self.disk_id}")
+            if self._degraded():
+                with self._lock:
+                    if name not in self._sizes:
+                        raise DiskError(
+                            f"no object {name!r} on disk {self.disk_id}"
+                        )
+                    logical = self._sizes[name]
+                src = self.parity_layer.ensure_spare(self, name, logical)
+            else:
+                src = path
+                if not src.exists():
+                    raise DiskError(f"no object {name!r} on disk {self.disk_id}")
             if out is not None:
                 mv = memoryview(out)
                 if mv.nbytes != nbytes:
                     raise DiskError(
                         f"read buffer holds {mv.nbytes} bytes, wanted {nbytes}"
                     )
-                with open(path, "rb") as fh:
+                with open(src, "rb") as fh:
                     fh.seek(offset)
                     got = fh.readinto(mv)
                 if got != nbytes:
@@ -214,9 +315,10 @@ class VirtualDisk:
                         f"short read of {name!r} on disk {self.disk_id}: wanted "
                         f"{nbytes} bytes at offset {offset}, got {got}"
                     )
+                self._verify(name, offset, mv)
                 self.stats.record_read(nbytes)
                 return out
-            with open(path, "rb") as fh:
+            with open(src, "rb") as fh:
                 fh.seek(offset)
                 data = fh.read(nbytes)
             if len(data) != nbytes:
@@ -224,6 +326,7 @@ class VirtualDisk:
                     f"short read of {name!r} on disk {self.disk_id}: wanted "
                     f"{nbytes} bytes at offset {offset}, got {len(data)}"
                 )
+            self._verify(name, offset, data)
             self.stats.record_read(nbytes)
             return data
 
@@ -236,24 +339,39 @@ class VirtualDisk:
         path = self._path(name)
         with self._lock:
             self._sizes.pop(name, None)
+            layer = self.parity_layer
+            if layer is not None:
+                # Fold the object's extents out of their parity rows
+                # before the bytes disappear.
+                layer.on_delete(self, name)
+                spare = layer.spare_path(self) / name
+                if spare.exists():
+                    os.unlink(spare)
+            self.checksums.drop(name)
             if path.exists():
                 os.unlink(path)
 
     def fingerprint(self, name: str) -> str:
-        """SHA-256 hex digest of one object's bytes.
+        """SHA-256 hex digest of one object's bytes (shared
+        :mod:`repro.durability.hashing` algorithm, so checkpoint
+        digests and disk fingerprints cannot drift).
 
         Unmetered and exempt from fault injection: checkpoint digests
         are bookkeeping, not data movement, and must not perturb the
-        byte-exact pass accounting the integration tests assert.
+        byte-exact pass accounting the integration tests assert. On a
+        dead disk the digest is taken over the reconstructed spare
+        content — the logical object, not the lost medium.
         """
+        if self._degraded() and self.parity_layer is not None:
+            with self._lock:
+                if name not in self._sizes:
+                    raise DiskError(f"no object {name!r} on disk {self.disk_id}")
+                logical = self._sizes[name]
+            return file_digest(self.parity_layer.ensure_spare(self, name, logical))
         path = self._path(name)
         if not path.exists():
             raise DiskError(f"no object {name!r} on disk {self.disk_id}")
-        h = hashlib.sha256()
-        with open(path, "rb") as fh:
-            for chunk in iter(lambda: fh.read(1 << 20), b""):
-                h.update(chunk)
-        return h.hexdigest()
+        return file_digest(path)
 
 
 def make_disk_array(

@@ -1,0 +1,137 @@
+"""Per-extent block-checksum catalog for one virtual disk.
+
+Every :meth:`~repro.disks.virtual_disk.VirtualDisk.write_at` records a
+CRC of the written extent here; every ``read_at`` verifies the extents
+that tile the read range. The catalog is persisted as one JSON sidecar
+per object under ``<disk root>/.meta/`` (a dot-directory, invisible to
+the disk's object namespace), so checksums survive process restarts and
+a ``--resume`` can detect corruption introduced while the job was down.
+
+The catalog is deliberately extent-based rather than fixed-block-based:
+the matrixfile stores write whole columns, column segments, and PDM
+block ranges, and always read ranges that those write extents tile
+exactly. An extent only partially covered by a later write is dropped
+from the catalog (its old checksum no longer describes the file), which
+matches the raw-disk semantics the disk unit tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.durability.hashing import CHECKSUM_ALGO, block_checksum
+
+
+class BlockChecksums:
+    """CRC catalog for the objects of one disk, with sidecar persistence."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._dir = Path(root) / ".meta"
+        self._lock = threading.Lock()
+        #: name -> list of [offset, length, crc], sorted by offset.
+        self._extents: dict[str, list[list[int]]] = {}
+        if self._dir.is_dir():
+            for sidecar in self._dir.glob("*.json"):
+                try:
+                    doc = json.loads(sidecar.read_text())
+                except (OSError, ValueError):
+                    continue
+                # A sidecar written with a different CRC algorithm (other
+                # environment) is unusable: discard instead of misreading
+                # every mismatch as corruption.
+                if doc.get("algo") != CHECKSUM_ALGO:
+                    continue
+                name = doc.get("name")
+                extents = doc.get("extents")
+                if isinstance(name, str) and isinstance(extents, list):
+                    self._extents[name] = sorted(
+                        [list(map(int, e)) for e in extents]
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _sidecar(self, name: str) -> Path:
+        return self._dir / f"{name}.json"
+
+    def _persist(self, name: str) -> None:
+        extents = self._extents.get(name)
+        if extents is None:
+            try:
+                self._sidecar(name).unlink()
+            except OSError:
+                pass
+            return
+        self._dir.mkdir(exist_ok=True)
+        doc = {"algo": CHECKSUM_ALGO, "name": name, "extents": extents}
+        tmp = self._sidecar(name).with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(doc))
+        tmp.replace(self._sidecar(name))
+
+    # ------------------------------------------------------------------
+
+    def record(self, name: str, offset: int, data) -> int:
+        """Checksum one written extent and fold out any stale overlaps.
+
+        Returns the number of bytes hashed (for ``IoStats`` metering).
+        """
+        view = memoryview(data)
+        length = view.nbytes
+        crc = block_checksum(view)
+        end = offset + length
+        with self._lock:
+            kept = [
+                e
+                for e in self._extents.get(name, [])
+                if e[0] >= end or e[0] + e[1] <= offset
+            ]
+            kept.append([offset, length, crc])
+            kept.sort()
+            self._extents[name] = kept
+            self._persist(name)
+        return length
+
+    def drop(self, name: str) -> None:
+        """Forget an object (on delete)."""
+        with self._lock:
+            self._extents.pop(name, None)
+            self._persist(name)
+
+    def extents(self, name: str) -> list[tuple[int, int, int]]:
+        """The cataloged ``(offset, length, crc)`` extents of an object."""
+        with self._lock:
+            return [tuple(e) for e in self._extents.get(name, [])]
+
+    def expected_crc(self, name: str, offset: int, length: int) -> int | None:
+        """The recorded CRC of one exact extent, or ``None``."""
+        with self._lock:
+            for off, ln, crc in self._extents.get(name, []):
+                if off == offset and ln == length:
+                    return crc
+        return None
+
+    def verify(
+        self, name: str, offset: int, view
+    ) -> tuple[list[tuple[int, int]], int]:
+        """Verify the cataloged extents fully contained in a read.
+
+        ``view`` holds the bytes just read from ``offset``. Returns
+        ``(mismatched (offset, length) extents, bytes hashed)``.
+        Extents straddling the read boundary are skipped — in practice
+        the stores' reads are tiled exactly by their writes.
+        """
+        mv = memoryview(view).cast("B")
+        end = offset + mv.nbytes
+        bad: list[tuple[int, int]] = []
+        hashed = 0
+        with self._lock:
+            extents = list(self._extents.get(name, []))
+        for off, ln, crc in extents:
+            if off < offset or off + ln > end:
+                continue
+            lo = off - offset
+            hashed += ln
+            if block_checksum(mv[lo : lo + ln]) != crc:
+                bad.append((off, ln))
+        return bad, hashed

@@ -1,0 +1,59 @@
+"""One home for every digest the repo computes over stored bytes.
+
+Three consumers share these helpers so their algorithms cannot drift:
+
+* the disk layer's per-extent block checksums
+  (:func:`block_checksum`);
+* :meth:`~repro.disks.virtual_disk.VirtualDisk.fingerprint`
+  (:func:`file_digest`);
+* :func:`~repro.resilience.checkpoint.store_digest`, which folds disk
+  fingerprints into one checkpoint digest (:func:`hexdigest`).
+
+Block checksums prefer hardware-accelerated CRC32C when a ``crc32c``
+module is importable and fall back to :func:`zlib.crc32` otherwise —
+both are 32-bit CRCs computed on the zero-copy wire view, and the
+sidecar records which algorithm wrote it so a mismatch between
+environments is detected rather than misread as corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from pathlib import Path
+
+try:  # pragma: no cover - depends on the environment
+    import crc32c as _crc32c_mod
+
+    def _crc(view) -> int:
+        return _crc32c_mod.crc32c(bytes(view))
+
+    CHECKSUM_ALGO = "crc32c"
+except ImportError:  # pragma: no cover - the baked-in toolchain path
+    def _crc(view) -> int:
+        return zlib.crc32(view) & 0xFFFFFFFF
+
+    CHECKSUM_ALGO = "crc32"
+
+#: Digest used for whole-file fingerprints and checkpoint digests.
+DIGEST_ALGO = "sha256"
+
+
+def block_checksum(data) -> int:
+    """32-bit checksum of one block (any C-contiguous buffer)."""
+    return _crc(memoryview(data))
+
+
+def file_digest(path: str | Path) -> str:
+    """Streaming hex digest of a file's bytes (:data:`DIGEST_ALGO`)."""
+    h = hashlib.new(DIGEST_ALGO)
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def hexdigest(data: bytes) -> str:
+    """Hex digest of in-memory bytes (:data:`DIGEST_ALGO`) — used to
+    fold per-file fingerprints into one store/checkpoint digest."""
+    return hashlib.new(DIGEST_ALGO, data).hexdigest()

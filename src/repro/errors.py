@@ -68,6 +68,37 @@ class DiskFullError(DiskError):
     """A virtual disk ran out of configured capacity."""
 
 
+class CorruptionError(DiskError):
+    """A block read back from disk failed its checksum (bit rot, a torn
+    write, or a hostile test flipping bytes).
+
+    Carries the failing location (``disk_id``, ``name``, and the
+    ``(offset, length)`` extents that mismatched) plus ``repairable`` —
+    True when a parity layer is attached and the corrupt extents can be
+    reconstructed from the surviving disks, in which case the retry
+    loop repairs the block in place and retries the read.
+    """
+
+    def __init__(
+        self,
+        disk_id: int,
+        name: str,
+        extents: list,
+        repairable: bool = False,
+    ) -> None:
+        self.disk_id = disk_id
+        self.name = name
+        self.extents = list(extents)
+        self.repairable = repairable
+        first = self.extents[0] if self.extents else (0, 0)
+        super().__init__(
+            f"checksum mismatch on disk {disk_id}, object {name!r}, block "
+            f"(offset={first[0]}, length={first[1]})"
+            + (f" and {len(self.extents) - 1} more" if len(self.extents) > 1 else "")
+            + (" [repairable from parity]" if repairable else "")
+        )
+
+
 class SpmdError(ReproError, RuntimeError):
     """A rank of an SPMD program raised; carries the failing rank.
 
@@ -92,6 +123,13 @@ class CheckpointError(ResilienceError):
     """A pass-boundary checkpoint could not be written, read, or trusted
     (missing or corrupt manifest, a manifest that does not match the job
     being resumed, or a content digest mismatch on the store it names)."""
+
+
+class AuditError(ResilienceError):
+    """An online per-pass invariant audit failed — the pass's output
+    violates a columnsort invariant (wrong column sizes, too many
+    sorted runs, out-of-order samples), so the pass must not be
+    checkpointed or resumed from."""
 
 
 class WatchdogTimeout(ResilienceError):

@@ -52,6 +52,8 @@ def sort_out_of_core(
     retry_policy=None,
     fault_plan=None,
     watchdog_deadline: float | None = None,
+    parity: bool = False,
+    audit: bool = False,
 ) -> OocResult:
     """Sort ``records`` out-of-core with the named algorithm
     (``"threaded"``, ``"subblock"``, ``"m"``, or ``"hybrid"``).
@@ -77,6 +79,15 @@ def sort_out_of_core(
     ``watchdog_deadline`` are forwarded to the disks and the SPMD
     world — see :mod:`repro.resilience`. If the run fails with a
     temporary workdir, the scratch directory is removed.
+
+    Durability knobs (see :mod:`repro.durability`): ``parity=True``
+    maintains an XOR parity stripe across the disk array, letting the
+    run repair corrupt blocks in place and complete byte-identically in
+    degraded mode if a disk is lost to permanent faults mid-run;
+    ``audit=True`` verifies sampled columnsort invariants of every
+    pass's output before its checkpoint is declared good. Counters for
+    both land in ``OocResult.durability``. A degraded run should call
+    ``OocResult.release_durability()`` once its output has been read.
 
     >>> from repro.records import RecordFormat, generate
     >>> from repro.cluster import ClusterConfig
@@ -110,9 +121,14 @@ def sort_out_of_core(
         retry_policy=retry_policy,
         fault_plan=fault_plan,
         watchdog_deadline=watchdog_deadline,
+        parity=parity,
+        audit=audit,
     )
     r, s = shape_of(job)
-    ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir, striped=striped)
+    ws = make_workspace(
+        cluster, fmt, records, r, s,
+        workdir=workdir, striped=striped, parity=parity,
+    )
     try:
         result = runner(
             job,

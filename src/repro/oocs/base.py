@@ -117,6 +117,15 @@ class OocJob:
         If set, seconds of universal rank silence after which the run
         is aborted with a structured
         :class:`~repro.errors.WatchdogTimeout` instead of hanging.
+    parity:
+        Maintain an XOR parity stripe across the disk array
+        (:class:`~repro.durability.parity.ParityLayer`): corrupt blocks
+        are repaired in place and a disk lost to permanent faults is
+        served in degraded mode from the surviving D−1 disks.
+    audit:
+        Verify columnsort invariants of every pass's output (sampled,
+        on rank 0) before its checkpoint is declared good; violations
+        raise :class:`~repro.errors.AuditError`.
     """
 
     cluster: ClusterConfig
@@ -129,6 +138,8 @@ class OocJob:
     retry_policy: object = None
     fault_plan: object = None
     watchdog_deadline: float | None = None
+    parity: bool = False
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.pipeline_depth < 0:
@@ -173,12 +184,22 @@ class OocResult:
     comm_per_pass: list[dict]  # rank-0 comm deltas per pass
     comm_total: dict  # aggregate across ranks
     copy: dict = field(default_factory=dict)  # data-plane copy accounting
+    durability: dict = field(default_factory=dict)  # checksums/parity/audit
     trace: RunTrace | None = None
     workspace: object = None  # set by the convenience API to pin disks alive
 
     def output_records(self) -> np.ndarray:
         """Read the sorted output back (verification convenience)."""
         return self.output.read_all()
+
+    def release_durability(self) -> None:
+        """Retire this run's :class:`~repro.resilience.quarantine.DiskQuarantine`
+        from the global leak-check registry. Call once done reading a
+        degraded workspace (idempotent; a no-op for runs that never
+        attached one)."""
+        quarantine = getattr(self.output.disks[0], "quarantine", None)
+        if quarantine is not None:
+            quarantine.release()
 
     def stage_wall(self) -> dict[str, float]:
         """Measured per-stage wall time (rank 0) summed over all passes:
@@ -209,18 +230,26 @@ def make_workspace(
     s: int,
     workdir: str | Path | None = None,
     striped: bool = False,
+    parity: bool = False,
 ) -> Workspace:
     """Create the virtual disks and load ``records`` as the input matrix
     (column-major: column ``j`` is ``records[j·r:(j+1)·r]``).
 
     With ``striped=True`` the input uses M-columnsort's layout
-    (:class:`~repro.disks.matrixfile.StripedColumnStore`).
+    (:class:`~repro.disks.matrixfile.StripedColumnStore`). With
+    ``parity=True`` a :class:`~repro.durability.parity.ParityLayer` is
+    attached *before* the input is loaded, so every byte of the run —
+    input included — is reconstructable from any D−1 disks.
     """
     tmp = None
     if workdir is None:
         tmp = tempfile.TemporaryDirectory(prefix="repro-oocs-")
         workdir = tmp.name
     disks = make_disk_array(workdir, cluster.virtual_disks)
+    if parity:
+        from repro.durability import attach_durability
+
+        attach_durability(disks, parity=True)
     if striped:
         from repro.disks.matrixfile import StripedColumnStore
 
@@ -623,17 +652,9 @@ class PassMarker:
         )
 
     def io_deltas(self) -> list[dict]:
-        return self._deltas(
-            self.io_marks,
-            (
-                "reads",
-                "writes",
-                "bytes_read",
-                "bytes_written",
-                "read_retries",
-                "write_retries",
-            ),
-        )
+        from repro.disks.iostats import IO_KEYS
+
+        return self._deltas(self.io_marks, IO_KEYS)
 
 
 def new_pass_trace(name: str, shape: str) -> PassTrace:
@@ -694,11 +715,23 @@ def execute_passes(
     so rank 0 persists the manifest *inside* the boundary and a final
     barrier keeps any rank from outrunning a manifest that is not yet
     durable.
+
+    With ``job.audit`` set, rank 0 additionally runs a
+    :class:`~repro.durability.audit.PassAuditor` over each pass's output
+    store at the boundary — *before* the manifest is written, so a pass
+    whose output violates a columnsort invariant fails the run instead
+    of becoming a resume point. (Audit reads are metered store reads;
+    the byte-exact pass-count tests therefore run with auditing off.)
     """
     fmt = job.fmt
     plan = job.pipeline_plan()
     want_trace = comm.rank == 0 and collect_trace
     marker = PassMarker(comm, stores["input"].disks)
+    auditor = None
+    if job.audit and comm.rank == 0:
+        from repro.durability import PassAuditor
+
+        auditor = PassAuditor()
     traces = []
     total = len(specs)
     for index, spec in enumerate(specs, start=1):
@@ -709,6 +742,10 @@ def execute_passes(
         marker.mark()
         if trace is not None:
             traces.append(trace)
+        if job.audit:
+            if auditor is not None:
+                auditor.audit_pass(algorithm, stores[spec.dst], index, total)
+            comm.barrier()  # no rank outruns a failed audit
         if checkpoint is not None:
             if comm.rank == 0:
                 checkpoint.save_pass(job, algorithm, index, total, stores[spec.dst])
@@ -717,6 +754,8 @@ def execute_passes(
         "traces": traces,
         "comm_per_pass": marker.comm_deltas(),
         "io_per_pass": marker.io_deltas(),
+        "audited_passes": auditor.audited_passes if auditor is not None else 0,
+        "audited_units": auditor.audited_units if auditor is not None else 0,
     }
 
 
@@ -779,6 +818,14 @@ def run_pass_program(
     cluster, fmt = job.cluster, job.fmt
     disks = stores["input"].disks
     attach_resilience(disks, job)
+    if job.parity:
+        from repro.durability import attach_durability
+
+        quarantine, layer = attach_durability(disks, parity=True)
+    else:
+        quarantine = getattr(disks[0], "quarantine", None)
+        layer = getattr(disks[0], "parity_layer", None)
+    parity_before = layer.counters_snapshot() if layer is not None else None
     ckpt = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
     start_pass = 0
     if ckpt is not None:
@@ -802,6 +849,7 @@ def run_pass_program(
             watchdog_deadline=job.watchdog_deadline,
             fault_plan=job.fault_plan,
             retry_policy=job.retry_policy,
+            quarantine=quarantine,
         )
     except BaseException:
         cleanup_failed_run(stores, ckpt)
@@ -826,6 +874,19 @@ def run_pass_program(
         if ckpt is not None:
             ckpt.clear()  # a finished run's checkpoints are garbage
 
+    durability: dict = {}
+    if quarantine is not None:
+        durability = quarantine.snapshot()
+        durability["parity"] = layer is not None
+        if layer is not None:
+            parity_after = layer.counters_snapshot()
+            for key, value in parity_after.items():
+                # Per-run deltas: the layer may outlive several runs.
+                durability[key] = value - parity_before[key]
+    if job.audit:
+        durability["audited_passes"] = rank0["audited_passes"]
+        durability["audited_units"] = rank0["audited_units"]
+
     comm_total = combined(res.stats)
     comm_total["retries"] = res.comm_retries
     return OocResult(
@@ -838,6 +899,7 @@ def run_pass_program(
         comm_per_pass=rank0["comm_per_pass"],
         comm_total=comm_total,
         copy=copy,
+        durability=durability,
         trace=run_trace,
     )
 

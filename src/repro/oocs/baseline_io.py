@@ -41,7 +41,9 @@ def baseline_io_passes(
     keys = ["input"]
     for k in range(passes):
         key = "output" if k == passes - 1 else f"t{k + 1}"
-        stores[key] = ColumnStore(cluster, fmt, r, s, disks, name=f"io-t{k}")
+        stores[key] = ColumnStore(
+            cluster, fmt, r, s, disks, name=f"io-t{k}", parity=job.parity
+        )
         keys.append(key)
     specs = [
         PassSpec(f"io-pass{k + 1}", "io", pass_io_only, keys[k], keys[k + 1])

@@ -342,9 +342,16 @@ def g_columnsort_ooc(
     disks = input_store.disks
     stores = {
         "input": input_store,
-        "t1": GroupColumnStore(cluster, fmt, r, s, disks, g, name="g-t1"),
-        "t2": GroupColumnStore(cluster, fmt, r, s, disks, g, name="g-t2"),
-        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+        "t1": GroupColumnStore(
+            cluster, fmt, r, s, disks, g, name="g-t1", parity=job.parity
+        ),
+        "t2": GroupColumnStore(
+            cluster, fmt, r, s, disks, g, name="g-t2", parity=job.parity
+        ),
+        "output": PdmStore(
+            cluster, fmt, job.n, disks, job.pdm_block, name="output",
+            parity=job.parity,
+        ),
     }
 
     io_before = IoStats.combine([d.stats for d in disks])
@@ -354,6 +361,10 @@ def g_columnsort_ooc(
     stores["t1"].delete()
     stores["t2"].delete()
     rank0 = res.returns[0]
+    quarantine = getattr(disks[0], "quarantine", None)
+    durability = quarantine.snapshot() if quarantine is not None else {}
+    if durability:
+        durability["parity"] = getattr(disks[0], "parity_layer", None) is not None
     return OocResult(
         algorithm=f"g-columnsort(g={g})",
         job=job,
@@ -364,6 +375,7 @@ def g_columnsort_ooc(
         comm_per_pass=rank0["comm_per_pass"],
         comm_total=combined(res.stats),
         copy=copy,
+        durability=durability,
         trace=None,
     )
 

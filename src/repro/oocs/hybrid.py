@@ -166,10 +166,19 @@ def hybrid_columnsort_ooc(
     disks = input_store.disks
     stores = {
         "input": input_store,
-        "t1": StripedColumnStore(cluster, fmt, r, s, disks, name="hy-t1"),
-        "t2": StripedColumnStore(cluster, fmt, r, s, disks, name="hy-t2"),
-        "t3": StripedColumnStore(cluster, fmt, r, s, disks, name="hy-t3"),
-        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+        "t1": StripedColumnStore(
+            cluster, fmt, r, s, disks, name="hy-t1", parity=job.parity
+        ),
+        "t2": StripedColumnStore(
+            cluster, fmt, r, s, disks, name="hy-t2", parity=job.parity
+        ),
+        "t3": StripedColumnStore(
+            cluster, fmt, r, s, disks, name="hy-t3", parity=job.parity
+        ),
+        "output": PdmStore(
+            cluster, fmt, job.n, disks, job.pdm_block, name="output",
+            parity=job.parity,
+        ),
     }
     return run_pass_program(
         "hybrid",

@@ -380,9 +380,16 @@ def m_columnsort_ooc(
     disks = input_store.disks
     stores = {
         "input": input_store,
-        "t1": StripedColumnStore(cluster, fmt, r, s, disks, name="m-t1"),
-        "t2": StripedColumnStore(cluster, fmt, r, s, disks, name="m-t2"),
-        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+        "t1": StripedColumnStore(
+            cluster, fmt, r, s, disks, name="m-t1", parity=job.parity
+        ),
+        "t2": StripedColumnStore(
+            cluster, fmt, r, s, disks, name="m-t2", parity=job.parity
+        ),
+        "output": PdmStore(
+            cluster, fmt, job.n, disks, job.pdm_block, name="output",
+            parity=job.parity,
+        ),
     }
     return run_pass_program(
         "m-columnsort",

@@ -202,10 +202,13 @@ def subblock_columnsort_ooc(
     disks = input_store.disks
     stores = {
         "input": input_store,
-        "t1": ColumnStore(cluster, fmt, r, s, disks, name="sub-t1"),
-        "t2": ColumnStore(cluster, fmt, r, s, disks, name="sub-t2"),
-        "t3": ColumnStore(cluster, fmt, r, s, disks, name="sub-t3"),
-        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+        "t1": ColumnStore(cluster, fmt, r, s, disks, name="sub-t1", parity=job.parity),
+        "t2": ColumnStore(cluster, fmt, r, s, disks, name="sub-t2", parity=job.parity),
+        "t3": ColumnStore(cluster, fmt, r, s, disks, name="sub-t3", parity=job.parity),
+        "output": PdmStore(
+            cluster, fmt, job.n, disks, job.pdm_block, name="output",
+            parity=job.parity,
+        ),
     }
     return run_pass_program(
         "subblock",

@@ -83,9 +83,12 @@ def threaded_columnsort_ooc(
     disks = input_store.disks
     stores = {
         "input": input_store,
-        "t1": ColumnStore(cluster, fmt, r, s, disks, name="thr-t1"),
-        "t2": ColumnStore(cluster, fmt, r, s, disks, name="thr-t2"),
-        "output": PdmStore(cluster, fmt, job.n, disks, job.pdm_block, name="output"),
+        "t1": ColumnStore(cluster, fmt, r, s, disks, name="thr-t1", parity=job.parity),
+        "t2": ColumnStore(cluster, fmt, r, s, disks, name="thr-t2", parity=job.parity),
+        "output": PdmStore(
+            cluster, fmt, job.n, disks, job.pdm_block, name="output",
+            parity=job.parity,
+        ),
     }
     return run_pass_program(
         "threaded",

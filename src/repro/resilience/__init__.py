@@ -1,25 +1,34 @@
 """Fault tolerance for out-of-core runs: retries, checkpoints, watchdog.
 
-The layer has four pieces, each usable alone:
+The layer has five pieces, each usable alone:
 
 * :class:`~repro.resilience.faults.FaultPlan` — seeded fault injection
-  (probabilistic, nth-op, transient vs. permanent) shared by the disks
-  and the communication fabric;
+  (probabilistic, nth-op, transient vs. permanent, optionally
+  disk-targeted) shared by the disks and the communication fabric;
 * :class:`~repro.resilience.retry.RetryPolicy` — bounded retry with
   deterministic backoff, wrapped around disk and mailbox operations;
 * :class:`~repro.resilience.checkpoint.CheckpointStore` — pass-boundary
   manifests that let a killed multi-pass sort resume byte-identically;
 * :class:`~repro.resilience.watchdog.RankWatchdog` — converts a hung
-  rank into a prompt, structured :class:`~repro.errors.SpmdError`.
+  rank into a prompt, structured :class:`~repro.errors.SpmdError`;
+* :class:`~repro.resilience.quarantine.DiskQuarantine` — declares a
+  disk dead after repeated permanent faults, so the durability layer
+  (:mod:`repro.durability`) can switch it to degraded-mode service.
 """
 
 from repro.resilience.checkpoint import (
     MANIFEST_VERSION,
     CheckpointStore,
+    corrupt_blocks,
     pass_manifest,
     store_digest,
 )
 from repro.resilience.faults import FAULT_OPS, FaultPlan, FaultSpec, transient_plan
+from repro.resilience.quarantine import (
+    DiskQuarantine,
+    active_quarantines,
+    release_all_quarantines,
+)
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.watchdog import RankWatchdog
 
@@ -27,11 +36,15 @@ __all__ = [
     "FAULT_OPS",
     "MANIFEST_VERSION",
     "CheckpointStore",
+    "DiskQuarantine",
     "FaultPlan",
     "FaultSpec",
     "RankWatchdog",
     "RetryPolicy",
+    "active_quarantines",
+    "corrupt_blocks",
     "pass_manifest",
+    "release_all_quarantines",
     "store_digest",
     "transient_plan",
 ]

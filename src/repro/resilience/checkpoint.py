@@ -25,11 +25,11 @@ from the wrong data.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
 
+from repro.durability.hashing import block_checksum, hexdigest
 from repro.errors import CheckpointError
 
 #: Manifest schema version; bump on incompatible changes.
@@ -37,21 +37,51 @@ MANIFEST_VERSION = 1
 
 
 def store_digest(store) -> str:
-    """Content digest of a matrixfile store: SHA-256 over its files'
-    names and bytes in deterministic (disk, name) order.
+    """Content digest of a matrixfile store: one
+    :mod:`repro.durability.hashing` digest over its files' names and
+    fingerprints in deterministic (disk, name) order — the same
+    algorithm family as the disks' own fingerprints, by construction,
+    so the two can never drift.
 
     Reads through :meth:`~repro.disks.virtual_disk.VirtualDisk.fingerprint`,
     which is unmetered — digesting a store must not perturb the
     byte-exact I/O accounting the integration tests assert.
     """
-    h = hashlib.sha256()
+    parts = []
     prefix = f"{store.name}."
     for disk in store.disks:
         for name in disk.files():
             if name.startswith(prefix):
-                h.update(f"{disk.disk_id}:{name}:".encode())
-                h.update(disk.fingerprint(name).encode())
-    return h.hexdigest()
+                parts.append(f"{disk.disk_id}:{name}:{disk.fingerprint(name)}")
+    return hexdigest("".join(parts).encode())
+
+
+def corrupt_blocks(store) -> list[tuple[int, str, int, int]]:
+    """Blocks of a store whose stored CRC no longer matches the file.
+
+    Returns ``(disk_id, name, offset, length)`` tuples, reading the
+    files raw (unmetered, no fault injection) — this is resume-time
+    bookkeeping, not data movement. Objects already rerouted to a spare
+    region are skipped; the store digest covers them.
+    """
+    bad: list[tuple[int, str, int, int]] = []
+    prefix = f"{store.name}."
+    for disk in store.disks:
+        for name in disk.files():
+            if not name.startswith(prefix):
+                continue
+            path = disk.root / name
+            if not path.exists():
+                continue
+            with open(path, "rb") as fh:
+                data = fh.read()
+            view = memoryview(data)
+            for offset, length, crc in disk.checksums.extents(name):
+                if offset + length > len(data):
+                    bad.append((disk.disk_id, name, offset, length))
+                elif block_checksum(view[offset : offset + length]) != crc:
+                    bad.append((disk.disk_id, name, offset, length))
+    return bad
 
 
 def pass_manifest(job, algorithm: str, pass_index: int, total_passes: int,
@@ -179,6 +209,16 @@ class CheckpointStore:
             raise CheckpointError(
                 f"checkpoint references store {manifest['store']!r}, which "
                 f"this run does not create"
+            )
+        bad = corrupt_blocks(store)
+        if bad:
+            disk_id, name, offset, length = bad[0]
+            more = f" (and {len(bad) - 1} more)" if len(bad) > 1 else ""
+            raise CheckpointError(
+                f"cannot resume from store {manifest['store']!r}: block "
+                f"checksum failure in {name!r} at offset {offset} "
+                f"({length} bytes) on disk {disk_id}{more} — the scratch "
+                "bytes rotted or were tampered with since the checkpoint"
             )
         digest = store_digest(store)
         if digest != manifest["digest"]:

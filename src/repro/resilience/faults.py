@@ -49,7 +49,10 @@ class FaultSpec:
         ``nth`` is set.
     nth:
         Fire deterministically on the nth matching op (1-based, counted
-        per plan), instead of probabilistically.
+        per plan — per disk when ``disk`` is set), instead of
+        probabilistically. With ``count=None`` the rule keeps firing on
+        every later matching op too — "the medium fails at op n and
+        stays failed", the disk-kill scenario.
     count:
         Maximum number of times this rule may fire (``None`` =
         unlimited). A permanent fault with ``count=None`` fails every
@@ -57,6 +60,11 @@ class FaultSpec:
     transient:
         Transient faults mark their exception ``transient=True`` (a
         retry may succeed); permanent ones mark it ``False``.
+    disk:
+        Restrict the rule to one disk id (``None`` = any). The nth-op
+        counter for a disk-targeted rule counts only that disk's ops,
+        so "kill disk 2 at its 5th read" is exact regardless of what
+        the other disks do.
     """
 
     op: str = "any"
@@ -64,6 +72,7 @@ class FaultSpec:
     nth: int | None = None
     count: int | None = 1
     transient: bool = True
+    disk: int | None = None
 
     def __post_init__(self) -> None:
         if self.op not in FAULT_OPS:
@@ -76,6 +85,8 @@ class FaultSpec:
             raise ResilienceError(f"nth-op trigger must be >= 1, got {self.nth}")
         if self.count is not None and self.count < 1:
             raise ResilienceError(f"fault count must be >= 1, got {self.count}")
+        if self.disk is not None and self.disk < 0:
+            raise ResilienceError(f"fault disk id must be >= 0, got {self.disk}")
 
     def matches(self, op: str) -> bool:
         if self.op == op:
@@ -98,6 +109,7 @@ class FaultPlan:
         self._specs: list[FaultSpec] = list(specs)
         self._fired: dict[int, int] = {}
         self._ops: dict[str, int] = {}
+        self._ops_by_disk: dict[tuple[str, int], int] = {}
         self._faults: dict[str, int] = {}
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
@@ -127,26 +139,39 @@ class FaultPlan:
         exc.transient = spec.transient
         return exc
 
-    def check(self, op: str, where: str = "") -> None:
+    def check(self, op: str, where: str = "", disk_id: int | None = None) -> None:
         """Raise an injected fault if a rule fires for this op.
 
         Disk ops raise :class:`~repro.errors.DiskError`, comm ops
         :class:`~repro.errors.CommError`; either way the exception
         carries ``transient`` so a retry policy can classify it. Called
         before the op has any side effect, so retrying after a
-        transient fault is always safe.
+        transient fault is always safe. ``disk_id`` identifies the
+        disk performing the op (``None`` for comm) so disk-targeted
+        rules can match.
         """
         with self._lock:
             n = self._ops.get(op, 0) + 1
             self._ops[op] = n
+            if disk_id is not None:
+                key = (op, disk_id)
+                n_disk = self._ops_by_disk.get(key, 0) + 1
+                self._ops_by_disk[key] = n_disk
+            else:
+                n_disk = 0
             for i, spec in enumerate(self._specs):
                 if not spec.matches(op):
+                    continue
+                if spec.disk is not None and spec.disk != disk_id:
                     continue
                 fired = self._fired.get(i, 0)
                 if spec.count is not None and fired >= spec.count:
                     continue
                 if spec.nth is not None:
-                    hit = n == spec.nth
+                    seen = n_disk if spec.disk is not None else n
+                    # An unlimited-count nth rule models a medium that
+                    # dies at op n and never answers again.
+                    hit = seen == spec.nth if spec.count is not None else seen >= spec.nth
                 else:
                     hit = self._rng.random() < spec.probability
                 if hit:
@@ -168,6 +193,7 @@ class FaultPlan:
         with self._lock:
             self._fired.clear()
             self._ops.clear()
+            self._ops_by_disk.clear()
             self._faults.clear()
             self._rng = random.Random(self.seed)
 

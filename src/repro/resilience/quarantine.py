@@ -1,0 +1,157 @@
+"""Disk quarantine: the registry that declares a disk dead.
+
+A transient fault is retried; a *permanent* disk fault means the medium
+itself is gone. :class:`DiskQuarantine` counts permanent faults per disk
+and, once a disk crosses the ``dead_after`` threshold, marks it dead.
+What happens next depends on whether a
+:class:`~repro.durability.parity.ParityLayer` is attached to the array:
+
+* **with parity** — the dead disk's reads are served by reconstructing
+  its blocks from the surviving D−1 disks into a spare region, and its
+  writes are rerouted to that spare region; the run completes in
+  *degraded mode*, byte-identical to a fault-free run;
+* **without parity** — every further operation on the dead disk fails
+  fast with a structural (never-retryable) ``DiskError``, so the run
+  aborts promptly instead of burning its retry budget against a disk
+  that cannot answer.
+
+The quarantine also aggregates the durability counters surfaced in
+:class:`~repro.cluster.spmd.SpmdResult` and the breakdown tables:
+checksum failures observed, blocks reconstructed, repairs, and spare
+writes.
+
+A process-global registry tracks quarantines that currently hold dead
+disks; the test suite's leak check asserts it is empty between tests so
+a degraded run can never silently bleed state into the next one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_active_lock = threading.Lock()
+_active: set["DiskQuarantine"] = set()
+
+
+def active_quarantines() -> list["DiskQuarantine"]:
+    """Quarantines currently holding at least one dead disk (leak check)."""
+    with _active_lock:
+        return list(_active)
+
+
+def release_all_quarantines() -> int:
+    """Release every active quarantine; returns how many there were.
+
+    Test-teardown helper so one leaked degraded run cannot cascade into
+    failures of every later test.
+    """
+    leaked = active_quarantines()
+    for q in leaked:
+        q.release()
+    return len(leaked)
+
+
+class DiskQuarantine:
+    """Permanent-fault bookkeeping for one disk array.
+
+    Parameters
+    ----------
+    dead_after:
+        Permanent faults a disk may suffer before it is declared dead.
+        The default of 1 models the paper's hardware: one SCSI disk per
+        node, and a permanent error means the disk is gone.
+    """
+
+    def __init__(self, dead_after: int = 1) -> None:
+        if dead_after < 1:
+            raise ValueError(f"dead_after must be >= 1, got {dead_after}")
+        self.dead_after = dead_after
+        self._lock = threading.Lock()
+        self._permanent: dict[int, int] = {}
+        self._dead: set[int] = set()
+        self._released = False
+        self.checksum_failures = 0
+        self.reconstructed_blocks = 0
+        self.repaired_blocks = 0
+        self.spare_writes = 0
+
+    # -- fault accounting ----------------------------------------------
+
+    def record_permanent(self, disk_id: int) -> bool:
+        """Count one permanent fault; returns True if the disk just died."""
+        with self._lock:
+            n = self._permanent.get(disk_id, 0) + 1
+            self._permanent[disk_id] = n
+            if n >= self.dead_after and disk_id not in self._dead:
+                self._dead.add(disk_id)
+                self._register()
+                return True
+        return False
+
+    def mark_dead(self, disk_id: int) -> None:
+        """Declare a disk dead outright (tests, operator action)."""
+        with self._lock:
+            self._permanent[disk_id] = max(
+                self._permanent.get(disk_id, 0), self.dead_after
+            )
+            if disk_id not in self._dead:
+                self._dead.add(disk_id)
+                self._register()
+
+    def is_dead(self, disk_id: int) -> bool:
+        with self._lock:
+            return disk_id in self._dead
+
+    def degraded_disks(self) -> list[int]:
+        """Sorted ids of the disks currently declared dead."""
+        with self._lock:
+            return sorted(self._dead)
+
+    # -- durability counters -------------------------------------------
+
+    def record_checksum_failure(self, disk_id: int, n: int = 1) -> None:
+        with self._lock:
+            self.checksum_failures += n
+
+    def record_reconstruction(self, blocks: int = 1) -> None:
+        with self._lock:
+            self.reconstructed_blocks += blocks
+
+    def record_repair(self, blocks: int = 1) -> None:
+        with self._lock:
+            self.repaired_blocks += blocks
+
+    def record_spare_write(self) -> None:
+        with self._lock:
+            self.spare_writes += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "degraded_disks": sorted(self._dead),
+                "permanent_faults": dict(self._permanent),
+                "checksum_failures": self.checksum_failures,
+                "reconstructed_blocks": self.reconstructed_blocks,
+                "repaired_blocks": self.repaired_blocks,
+                "spare_writes": self.spare_writes,
+            }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _register(self) -> None:
+        # Called with self._lock held; the global lock nests inside.
+        if not self._released:
+            with _active_lock:
+                _active.add(self)
+
+    def release(self) -> None:
+        """Retire this quarantine from the global leak-check registry.
+
+        Idempotent. A test or benchmark that drove a disk dead must call
+        this (directly or via ``OocResult.release_durability``) once it
+        is done reading the degraded workspace.
+        """
+        with self._lock:
+            self._released = True
+        with _active_lock:
+            _active.discard(self)

@@ -28,7 +28,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import DiskError, DiskFullError, ResilienceError
+from repro.errors import CorruptionError, DiskError, DiskFullError, ResilienceError
 
 #: Substrings identifying structural (never-retryable) DiskError
 #: messages raised by the virtual-disk layer itself.
@@ -40,6 +40,8 @@ _FATAL_MARKERS = (
     "out of range",
     "cannot access",
     "cannot write",
+    "cannot reconstruct",
+    "quarantined dead",
     "unknown fault kind",
     "read buffer holds",
 )
@@ -92,6 +94,11 @@ class RetryPolicy:
         transient = getattr(exc, "transient", None)
         if transient is not None:
             return bool(transient)
+        if isinstance(exc, CorruptionError):
+            # Retryable-with-repair: the disk's op loop rebuilds the
+            # block from parity before the retry; without parity there
+            # is nothing a retry could change.
+            return bool(exc.repairable)
         if isinstance(exc, DiskFullError):
             return False
         if isinstance(exc, DiskError):

@@ -21,20 +21,33 @@ from repro.records.format import RecordFormat
 
 
 def pytest_runtest_teardown(item, nextitem):
-    """Buffer-pool leak check after every test.
+    """Buffer-pool and quarantine leak checks after every test.
 
     Every lease taken from the global :class:`~repro.membuf.BufferPool`
     must be recycled (or forgotten by the crash path) by the time a
     test finishes; an outstanding lease here means a pass body dropped
-    a buffer on the floor. A plain hook, not an autouse fixture —
-    hypothesis rejects function-scoped fixtures around its tests.
+    a buffer on the floor. Likewise every
+    :class:`~repro.resilience.quarantine.DiskQuarantine` that declared
+    a disk dead must have been released — a leaked quarantine means a
+    degraded run's registry would bleed into the next test. Plain
+    hooks, not autouse fixtures — hypothesis rejects function-scoped
+    fixtures around its tests.
     """
+    from repro.resilience import release_all_quarantines
+
     pool = get_pool()
     leaked = pool.outstanding()
     if leaked:
         pool.forget_leases()  # don't cascade the failure into later tests
         pytest.fail(
             f"{item.nodeid} leaked {leaked} buffer-pool lease(s)",
+            pytrace=False,
+        )
+    leaked_quarantines = release_all_quarantines()
+    if leaked_quarantines:
+        pytest.fail(
+            f"{item.nodeid} leaked {leaked_quarantines} quarantined-disk "
+            f"registr{'y' if leaked_quarantines == 1 else 'ies'}",
             pytrace=False,
         )
 

@@ -79,6 +79,9 @@ class TestAccounting:
         assert snap == {
             "reads": 1, "writes": 2, "bytes_read": 6, "bytes_written": 6,
             "read_retries": 0, "write_retries": 0,
+            # Each write hashes its extent (4 + 2 bytes) and the read
+            # verifies both extents again.
+            "bytes_hashed": 12, "checksum_failures": 0,
         }
 
     def test_combine(self, tmp_path):

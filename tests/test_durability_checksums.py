@@ -1,0 +1,168 @@
+"""Block checksums: hashing helpers, the per-disk catalog, and the
+disk read path's corruption detection."""
+
+import json
+
+import pytest
+
+from repro.durability.checksums import BlockChecksums
+from repro.durability.hashing import (
+    CHECKSUM_ALGO,
+    block_checksum,
+    file_digest,
+    hexdigest,
+)
+from repro.disks.virtual_disk import VirtualDisk, make_disk_array
+from repro.errors import CorruptionError, DiskError
+from repro.resilience.retry import RetryPolicy
+
+
+@pytest.fixture
+def disk(tmp_path):
+    return VirtualDisk(tmp_path / "d0", disk_id=0)
+
+
+class TestHashing:
+    def test_block_checksum_deterministic(self):
+        assert block_checksum(b"abc") == block_checksum(b"abc")
+        assert block_checksum(b"abc") != block_checksum(b"abd")
+
+    def test_block_checksum_accepts_memoryview(self):
+        data = bytearray(b"columnsort")
+        assert block_checksum(memoryview(data)) == block_checksum(bytes(data))
+
+    def test_algo_is_gated_not_assumed(self):
+        # crc32c if the wheel is present, zlib's crc32 otherwise — either
+        # way the module must say which one it is using.
+        assert CHECKSUM_ALGO in ("crc32c", "crc32")
+
+    def test_file_digest_matches_hexdigest(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"x" * (3 * 2**20 + 17))  # crosses chunk boundaries
+        assert file_digest(path) == hexdigest(b"x" * (3 * 2**20 + 17))
+
+
+class TestCatalog:
+    def test_record_and_verify_roundtrip(self, tmp_path):
+        cat = BlockChecksums(tmp_path)
+        cat.record("obj", 0, b"aaaa")
+        cat.record("obj", 4, b"bbbb")
+        bad, hashed = cat.verify("obj", 0, b"aaaabbbb")
+        assert bad == [] and hashed == 8
+
+    def test_verify_flags_mismatch(self, tmp_path):
+        cat = BlockChecksums(tmp_path)
+        cat.record("obj", 0, b"aaaa")
+        bad, _ = cat.verify("obj", 0, b"aaXa")
+        assert bad == [(0, 4)]
+
+    def test_overwrite_folds_out_stale_extents(self, tmp_path):
+        cat = BlockChecksums(tmp_path)
+        cat.record("obj", 0, b"aaaa")
+        cat.record("obj", 2, b"cc")  # partially covers the first extent
+        # The stale [0,4) checksum no longer describes the file: dropped.
+        assert cat.extents("obj") == [(2, 2, block_checksum(b"cc"))]
+
+    def test_sidecar_persists_across_processes(self, tmp_path):
+        cat = BlockChecksums(tmp_path)
+        cat.record("obj", 0, b"hello")
+        reloaded = BlockChecksums(tmp_path)
+        assert reloaded.extents("obj") == cat.extents("obj")
+
+    def test_foreign_algo_sidecar_discarded(self, tmp_path):
+        cat = BlockChecksums(tmp_path)
+        cat.record("obj", 0, b"hello")
+        sidecar = tmp_path / ".meta" / "obj.json"
+        doc = json.loads(sidecar.read_text())
+        doc["algo"] = "md5-of-the-future"
+        sidecar.write_text(json.dumps(doc))
+        assert BlockChecksums(tmp_path).extents("obj") == []
+
+    def test_expected_crc_exact_extent_only(self, tmp_path):
+        cat = BlockChecksums(tmp_path)
+        cat.record("obj", 8, b"data")
+        assert cat.expected_crc("obj", 8, 4) == block_checksum(b"data")
+        assert cat.expected_crc("obj", 8, 2) is None
+
+
+class TestDiskIntegration:
+    def test_clean_read_verifies_and_meters(self, disk):
+        disk.write_at("obj", 0, b"abcdefgh")
+        disk.read_at("obj", 0, 8)
+        snap = disk.stats.snapshot()
+        assert snap["bytes_hashed"] == 16  # 8 on write + 8 on read-verify
+        assert snap["checksum_failures"] == 0
+
+    def corrupt(self, disk, name, at=0):
+        path = disk.root / name
+        blob = bytearray(path.read_bytes())
+        blob[at] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+    def test_bit_rot_raises_corruption_error(self, disk):
+        disk.write_at("obj", 0, b"abcdefgh")
+        self.corrupt(disk, "obj")
+        with pytest.raises(CorruptionError) as err:
+            disk.read_at("obj", 0, 8)
+        assert err.value.disk_id == 0
+        assert err.value.name == "obj"
+        assert err.value.extents == [(0, 8)]
+        assert not err.value.repairable  # no parity layer attached
+        assert disk.stats.snapshot()["checksum_failures"] == 1
+
+    def test_unrepairable_corruption_not_retried(self, disk):
+        disk.write_at("obj", 0, b"abcdefgh")
+        self.corrupt(disk, "obj")
+        disk.retry_policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        with pytest.raises(CorruptionError):
+            disk.read_at("obj", 0, 8)
+        # A hopeless retry must not be metered as recovery effort.
+        assert disk.stats.snapshot()["read_retries"] == 0
+
+    def test_corruption_error_is_disk_error(self):
+        assert issubclass(CorruptionError, DiskError)
+        assert not RetryPolicy.retryable(
+            CorruptionError(0, "obj", [(0, 8)], repairable=False)
+        )
+        assert RetryPolicy.retryable(
+            CorruptionError(0, "obj", [(0, 8)], repairable=True)
+        )
+
+    def test_delete_drops_checksums(self, disk):
+        disk.write_at("obj", 0, b"abcd")
+        disk.delete("obj")
+        assert disk.checksums.extents("obj") == []
+        assert not (disk.root / ".meta" / "obj.json").exists()
+
+    def test_meta_dir_invisible_to_namespace(self, disk):
+        disk.write_at("obj", 0, b"abcd")
+        assert disk.files() == ["obj"]
+
+    def test_fingerprint_uses_shared_digest(self, disk):
+        disk.write_at("obj", 0, b"abcd")
+        assert disk.fingerprint("obj") == hexdigest(b"abcd")
+
+
+class TestStoreLevel:
+    def test_store_reads_verified_end_to_end(self, tmp_path, small_fmt):
+        import numpy as np
+
+        from repro.cluster.config import ClusterConfig
+        from repro.disks.matrixfile import ColumnStore
+        from repro.records.generators import generate
+
+        cluster = ClusterConfig(p=2, mem_per_proc=2**10)
+        disks = make_disk_array(tmp_path, cluster.virtual_disks)
+        recs = generate("uniform", small_fmt, 256, seed=3)
+        store = ColumnStore.from_records(
+            cluster, small_fmt, recs, 64, 4, disks, name="input"
+        )
+        col0 = store.read_column(store.owner(0), 0)
+        assert np.array_equal(col0, recs[:64])
+        # flip one payload byte of column 0 on disk
+        victim = store.disk_for(0).root / store._file(0)
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(CorruptionError):
+            store.read_column(store.owner(0), 0)

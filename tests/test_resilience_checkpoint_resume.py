@@ -154,17 +154,41 @@ class TestResumeValidation:
                 workdir=workdir, checkpoint_dir=ckdir, resume=True,
             )
 
-    def test_tampered_scratch_rejected_by_digest(self, tmp_path):
-        recs, workdir, ckdir = self.make_killed_run(tmp_path)
+    @staticmethod
+    def tamper_scratch(workdir, ckdir):
+        """Flip one byte of the checkpointed store's first data file
+        (skipping the ``.meta`` checksum sidecars); returns the file."""
         manifest = json.loads(next(iter(ckdir.glob("pass_*.json"))).read_text())
         victim = next(
             path
             for path in sorted(workdir.rglob("*"))
-            if path.is_file() and path.name.startswith(manifest["store"] + ".")
+            if path.is_file()
+            and ".meta" not in path.parts
+            and path.name.startswith(manifest["store"] + ".")
         )
         blob = bytearray(victim.read_bytes())
         blob[0] ^= 0xFF
         victim.write_bytes(bytes(blob))
+        return victim
+
+    def test_tampered_scratch_rejected_by_block_checksum(self, tmp_path):
+        recs, workdir, ckdir = self.make_killed_run(tmp_path)
+        victim = self.tamper_scratch(workdir, ckdir)
+        with pytest.raises(
+            CheckpointError, match=rf"checksum failure in '{victim.name}'"
+        ):
+            run_sort(
+                "threaded", recs, 0,
+                workdir=workdir, checkpoint_dir=ckdir, resume=True,
+            )
+
+    def test_tampered_scratch_rejected_by_digest(self, tmp_path):
+        # With the checksum sidecars gone the CRC audit has nothing to
+        # check, so the tamper must still be caught by the store digest.
+        recs, workdir, ckdir = self.make_killed_run(tmp_path)
+        self.tamper_scratch(workdir, ckdir)
+        for sidecar in workdir.rglob(".meta/*.json"):
+            sidecar.unlink()
         with pytest.raises(CheckpointError, match="digest"):
             run_sort(
                 "threaded", recs, 0,
