@@ -1,0 +1,411 @@
+"""Governor harness: cancellation, disk-full ladder, admission storms.
+
+For every pass program (the four algorithms plus the I/O-only baseline)
+this drives the resource-governance layer through its whole contract:
+
+* **boundary cancellation** — a :class:`~repro.governor.CancelToken`
+  armed at every pass boundary stops the run with a structured
+  :class:`~repro.errors.Cancellation`, leaks nothing, and leaves the
+  last checkpoint valid: resuming produces byte-identical output;
+* **mid-pass cancellation** — a token that flips on the nth poll of
+  *any* seam (disk attempt, pipeline wait, mailbox slice) unwinds all
+  ranks within a bounded interval, again with a byte-identical resume;
+* **disk-full ladder** — an injected ``disk_full`` write fault with
+  reclaimable dead scratch completes byte-identically via reclaim +
+  one metered retry; with nothing to reclaim the run degrades and
+  fails with a structured error naming the disk;
+* **admission storm** — K simultaneous jobs against a 2-slot /
+  2-queue :class:`~repro.governor.JobGovernor`: admitted jobs complete
+  and verify, the queue stays within bounds, and the overflow is shed
+  with :class:`~repro.errors.AdmissionRejected`;
+* **always** — no leaked buffer-pool leases, threads, or quarantines.
+
+The run summary is written to ``BENCH_governor.json`` (the CI artifact
+the governor-smoke job archives).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_governor.py --quick
+    PYTHONPATH=src python benchmarks/bench_governor.py  # full sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from repro.cluster.config import ClusterConfig
+from repro.errors import (
+    AdmissionRejected,
+    Cancellation,
+    DiskFullError,
+    SpmdError,
+)
+from repro.governor import CancelToken, JobGovernor
+from repro.membuf import get_pool
+from repro.oocs.api import run_baseline_io, sort_out_of_core
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    active_quarantines,
+    release_all_quarantines,
+)
+
+FMT = RecordFormat("u8", 64)
+
+#: program → (p, buffer_records, s, total passes, striped input?)
+CONFIGS = {
+    "threaded": (2, 256, 4, 3, False),
+    "subblock": (2, 256, 4, 4, False),
+    "m": (2, 128, 4, 3, True),
+    "hybrid": (2, 128, 4, 4, True),
+    "baseline-io": (2, 256, 4, 3, False),
+}
+
+#: Generous bound on cancel-fire → structured-unwind latency. The poll
+#: interval is 50 ms; the rest is barrier/cleanup work on a busy runner.
+UNWIND_BOUND_S = 5.0
+
+
+class PollCancelToken(CancelToken):
+    """A token that cancels itself on its nth ``cancelled()`` poll —
+    landing mid-pass inside whatever seam happens to poll, which is
+    exactly the kind of arbitrary point a real cancel arrives at."""
+
+    def __init__(self, nth: int | None = None) -> None:
+        super().__init__()
+        self.nth = nth
+        self.polls = 0
+        self.fired_at: float | None = None
+        self._poll_lock = threading.Lock()
+
+    def cancelled(self) -> bool:
+        with self._poll_lock:
+            self.polls += 1
+            hit = self.nth is not None and self.polls == self.nth
+        if hit:
+            self.cancel(f"cancelled at poll #{self.nth}")
+        return super().cancelled()
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        if self.fired_at is None:
+            self.fired_at = time.monotonic()
+        super().cancel(reason)
+
+
+def records_for(program: str, seed: int = 7):
+    p, buf, s, _, striped = CONFIGS[program]
+    n = p * buf * s if striped else buf * s
+    return generate("uniform", FMT, n, seed=seed)
+
+
+def run_program(program: str, records, depth: int, **kwargs):
+    p, buf, _, _, _ = CONFIGS[program]
+    cluster = ClusterConfig(p=p, mem_per_proc=2**12)
+    if program == "baseline-io":
+        return run_baseline_io(
+            records, cluster, FMT, buffer_records=buf,
+            pipeline_depth=depth, **kwargs,
+        )
+    return sort_out_of_core(
+        program, records, cluster, FMT, buffer_records=buf,
+        pipeline_depth=depth, **kwargs,
+    )
+
+
+def output_bytes(res) -> bytes:
+    """Output of a run, program-agnostic (the baseline's striped
+    ``ColumnStore`` reads via ``to_records``, the PDM via ``read_all``)."""
+    out = res.output
+    if hasattr(out, "read_all"):
+        return out.read_all().tobytes()
+    return out.to_records().tobytes()
+
+
+def release(res) -> None:
+    """Delete a finished run's output and explicitly clean up its
+    temporary workspace — leaving that to gc would trip
+    ``PYTHONWARNINGS=error::ResourceWarning`` in the CI gate."""
+    res.output.delete()
+    tmp = getattr(getattr(res, "workspace", None), "_tmp", None)
+    if tmp is not None:
+        tmp.cleanup()
+
+
+def wind_down_threads(before: set, deadline_s: float = 5.0) -> set:
+    """Poll until every thread spawned since ``before`` exits; return
+    the leftovers (empty on success)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        extra = set(threading.enumerate()) - before
+        if not extra:
+            return set()
+        time.sleep(0.02)
+    return set(threading.enumerate()) - before
+
+
+def check_leaks(tag: str, before: set, failures: list[str]) -> None:
+    if get_pool().outstanding():
+        get_pool().forget_leases()
+        failures.append(f"{tag}: leaked pool leases")
+    if active_quarantines():
+        release_all_quarantines()
+        failures.append(f"{tag}: leaked quarantine registrations")
+    leftover = wind_down_threads(before)
+    if leftover:
+        failures.append(f"{tag}: leaked threads: {leftover}")
+
+
+def cancel_case(program: str, depth: int, tmp_root, summary: dict) -> list[str]:
+    """Cancel-then-resume at every boundary plus mid-pass, one program."""
+    failures: list[str] = []
+    total = CONFIGS[program][3]
+    records = records_for(program)
+    clean = run_program(program, records, depth)
+    expected = output_bytes(clean)
+    release(clean)
+
+    # Mid-pass trigger: learn the program's total poll count from an
+    # uncancelled probe, then fire halfway through the next run.
+    probe = PollCancelToken(nth=None)
+    release(run_program(program, records, depth, cancel=probe))
+    triggers = [("boundary", k) for k in range(1, total + 1)]
+    triggers.append(("mid-pass", max(2, probe.polls // 2)))
+
+    for mode, arg in triggers:
+        tag = f"{program} depth={depth} [{mode} {arg}]"
+        workdir = tmp_root / f"{program}-d{depth}-{mode}-{arg}"
+        ckdir = workdir / "ck"
+        token = (
+            CancelToken(cancel_at_pass=arg)
+            if mode == "boundary"
+            else PollCancelToken(nth=arg)
+        )
+        before = set(threading.enumerate())
+        try:
+            res = run_program(
+                program, records, depth,
+                cancel=token, workdir=workdir, checkpoint_dir=ckdir,
+            )
+        except Cancellation:
+            caught_at = time.monotonic()
+            fired_at = getattr(token, "fired_at", None)
+            if fired_at is not None:
+                latency = caught_at - fired_at
+                summary["unwind_latencies_s"].append(round(latency, 4))
+                if latency > UNWIND_BOUND_S:
+                    failures.append(
+                        f"{tag}: unwind took {latency:.2f}s "
+                        f"(bound {UNWIND_BOUND_S}s)"
+                    )
+        else:
+            # A mid-pass poll trigger may land after the last pass; the
+            # completed run must still be correct.
+            if output_bytes(res) != expected:
+                failures.append(f"{tag}: uncancelled output diverged")
+            release(res)
+            check_leaks(tag, before, failures)
+            print(f"  {tag}: completed before the trigger (ok)")
+            continue
+        check_leaks(tag, before, failures)
+
+        resumed = run_program(
+            program, records, depth,
+            workdir=workdir, checkpoint_dir=ckdir, resume=True,
+        )
+        if output_bytes(resumed) != expected:
+            failures.append(f"{tag}: resumed output diverged")
+        release(resumed)
+        print(f"  {tag}: cancelled + resumed byte-identical")
+    summary["cancel_cases"] += len(triggers)
+    return failures
+
+
+def disk_full_case(program: str, depth: int, summary: dict) -> list[str]:
+    """The reclaim/degrade ladder: injected ENOSPC with and without
+    reclaimable dead scratch."""
+    failures: list[str] = []
+    records = records_for(program)
+    clean = run_program(program, records, depth)
+    expected = output_bytes(clean)
+    writes_per_pass = [io["writes"] for io in clean.io_per_pass]
+    release(clean)
+
+    # -- reclaimable: ENOSPC in the last pass, where the first pass's
+    # output is dead scratch; reclaim + one retry must finish the run --
+    tag = f"{program} depth={depth} [disk-full reclaim]"
+    nth = sum(writes_per_pass[:-1]) + max(2, writes_per_pass[-1] // 2)
+    plan = FaultPlan(
+        [FaultSpec(op="write", kind="disk_full", nth=nth, count=1,
+                   transient=False)]
+    )
+    before = set(threading.enumerate())
+    try:
+        res = run_program(program, records, depth, fault_plan=plan)
+    except (SpmdError, DiskFullError) as exc:
+        failures.append(f"{tag}: run failed instead of reclaiming: {exc!r}")
+    else:
+        gov = res.governor
+        if output_bytes(res) != expected:
+            failures.append(f"{tag}: output diverged after reclaim")
+        if not gov.get("disk_full_events"):
+            failures.append(f"{tag}: no disk_full_events metered")
+        if not gov.get("scratch_reclaims") or not gov.get("reclaimed_bytes"):
+            failures.append(f"{tag}: reclaim not metered: {gov}")
+        print(
+            f"  {tag}: ok — reclaimed {gov.get('reclaimed_bytes', 0):,} B, "
+            f"{gov.get('disk_full_events')} ENOSPC event(s)"
+        )
+        release(res)
+    check_leaks(tag, before, failures)
+
+    # -- nothing to reclaim: the very first write fails; the run must
+    # degrade and then fail with a structured error naming the disk --
+    tag = f"{program} depth={depth} [disk-full no-reclaim]"
+    plan = FaultPlan(
+        [FaultSpec(op="write", kind="disk_full", nth=1, count=1,
+                   transient=False, disk=0)]
+    )
+    before = set(threading.enumerate())
+    try:
+        res = run_program(program, records, depth, fault_plan=plan)
+    except SpmdError as exc:
+        if not isinstance(exc.cause, DiskFullError):
+            failures.append(
+                f"{tag}: expected DiskFullError cause, got {exc.cause!r}"
+            )
+        elif "disk 0" not in str(exc.cause):
+            failures.append(
+                f"{tag}: error does not name the disk: {exc.cause}"
+            )
+        else:
+            print(f"  {tag}: ok — structured failure: {exc.cause}")
+    else:
+        failures.append(f"{tag}: no-reclaim disk-full did not fail the run")
+        release(res)
+    check_leaks(tag, before, failures)
+    summary["disk_full_cases"] += 2
+    return failures
+
+
+def admission_storm_case(k: int, summary: dict) -> list[str]:
+    """K simultaneous jobs against a 2-slot, 2-queue governor."""
+    failures: list[str] = []
+    tag = f"admission storm K={k}"
+    governor = JobGovernor(max_concurrent=2, max_queue=2, queue_timeout_s=30.0)
+    records = records_for("threaded")
+    clean = run_program("threaded", records, 0)
+    expected = output_bytes(clean)
+    release(clean)
+
+    outcomes: list[tuple[str, object]] = [None] * k  # type: ignore
+    start = threading.Barrier(k)
+
+    def job(i: int) -> None:
+        start.wait()
+        try:
+            res = run_program(
+                "threaded", records, 0, governor=governor,
+            )
+        except AdmissionRejected as exc:
+            outcomes[i] = ("rejected", exc.reason)
+        except Exception as exc:  # noqa: BLE001 - recorded, not swallowed
+            outcomes[i] = ("error", repr(exc))
+        else:
+            ok = output_bytes(res) == expected
+            outcomes[i] = ("completed" if ok else "diverged", None)
+            release(res)
+
+    before = set(threading.enumerate())
+    threads = [threading.Thread(target=job, args=(i,)) for i in range(k)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+
+    counts: dict[str, int] = {}
+    for outcome in outcomes:
+        kind = outcome[0] if outcome else "hung"
+        counts[kind] = counts.get(kind, 0) + 1
+    snap = governor.snapshot()
+    summary["admission"] = {"outcomes": counts, "governor": snap}
+
+    if counts.get("hung") or counts.get("error") or counts.get("diverged"):
+        failures.append(f"{tag}: bad outcomes {counts}: {outcomes}")
+    if counts.get("completed", 0) != snap["admitted"]:
+        failures.append(
+            f"{tag}: {snap['admitted']} admitted but "
+            f"{counts.get('completed', 0)} completed"
+        )
+    if snap["peak_running"] > 2:
+        failures.append(f"{tag}: peak_running {snap['peak_running']} > 2")
+    if snap["peak_queued"] > 2:
+        failures.append(f"{tag}: peak_queued {snap['peak_queued']} > 2")
+    if not snap["rejected_queue_full"]:
+        failures.append(f"{tag}: storm of {k} jobs shed nothing")
+    if counts.get("completed", 0) + counts.get("rejected", 0) != k:
+        failures.append(f"{tag}: outcomes do not add up: {counts}")
+    if snap["running"] or snap["queued"]:
+        failures.append(f"{tag}: governor not drained: {snap}")
+    check_leaks(tag, before, failures)
+    print(
+        f"  {tag}: ok — {counts.get('completed', 0)} completed, "
+        f"{counts.get('rejected', 0)} shed, peaks "
+        f"run={snap['peak_running']} queue={snap['peak_queued']}"
+    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import tempfile
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="disk-full on threaded only (the CI gate); "
+                             "cancellation still covers every program")
+    parser.add_argument("--storm-jobs", type=int, default=8,
+                        help="jobs in the admission storm")
+    parser.add_argument("--json", default="BENCH_governor.json",
+                        help="summary artifact path")
+    args = parser.parse_args(argv)
+
+    summary: dict = {
+        "cancel_cases": 0,
+        "disk_full_cases": 0,
+        "unwind_latencies_s": [],
+    }
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="bench-governor-") as tmp:
+        tmp_root = Path(tmp)
+        for program in CONFIGS:
+            for depth in (0, 2):
+                failures.extend(cancel_case(program, depth, tmp_root, summary))
+        disk_full_programs = ["threaded"] if args.quick else list(CONFIGS)
+        for program in disk_full_programs:
+            for depth in (0, 2):
+                failures.extend(disk_full_case(program, depth, summary))
+        failures.extend(admission_storm_case(args.storm_jobs, summary))
+
+    summary["failures"] = failures
+    lat = summary["unwind_latencies_s"]
+    if lat:
+        summary["unwind_max_s"] = max(lat)
+    Path(args.json).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"\nsummary written to {args.json}")
+    if failures:
+        print(f"{len(failures)} governor failure(s):")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        return 1
+    print("all governor cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

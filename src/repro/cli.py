@@ -114,12 +114,20 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         from repro.resilience import RetryPolicy
 
         retry_policy = RetryPolicy(max_attempts=args.retries, seed=args.seed)
+    governor = None
+    if args.max_queue is not None:
+        from repro.governor import JobGovernor
+
+        governor = JobGovernor(max_queue=args.max_queue)
     result = sort_out_of_core(
         args.algorithm, records, cluster, fmt, buffer_records=args.buffer,
         workdir=args.workdir, pipeline_depth=args.pipeline_depth,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         retry_policy=retry_policy,
         parity=args.parity, audit=args.audit,
+        deadline_s=args.deadline,
+        mem_budget_bytes=args.mem_budget,
+        governor=governor,
     )
     io = result.io
     print(
@@ -170,6 +178,15 @@ def _cmd_sort(args: argparse.Namespace) -> int:
                 "  durability: no layer attached "
                 "(run with --parity and/or --audit)"
             )
+    if args.governance_report:
+        from repro.experiments.breakdown import governance_breakdown_table
+        from repro.experiments.tables import render_table
+
+        rows = governance_breakdown_table(result)
+        if rows:
+            print(render_table(rows))
+        else:
+            print("  governance: no counters recorded")
     result.release_durability()
     return 0
 
@@ -260,6 +277,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the durability breakdown (bytes hashed, corruption "
              "caught/repaired, degraded-mode service, parity overhead)",
     )
+    srt.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline for the whole sort; on expiry every rank "
+             "unwinds within one poll interval into DeadlineExceeded, and "
+             "the last pass-boundary checkpoint stays valid for --resume",
+    )
+    srt.add_argument(
+        "--mem-budget", type=int, default=None, metavar="BYTES",
+        help="hard byte budget for the buffer pool: leases block under "
+             "backpressure and the run downshifts its pipeline depth when "
+             "pressure persists",
+    )
+    srt.add_argument(
+        "--max-queue", type=int, default=None, metavar="JOBS",
+        help="run through admission control with this queue bound "
+             "(mostly useful for drills: a single CLI job is always "
+             "admitted immediately)",
+    )
+    srt.add_argument(
+        "--governance-report", action="store_true",
+        help="print the governance breakdown (cancel checks, budget "
+             "stalls/evictions, disk-full reclaims, depth downshifts, "
+             "admission wait)",
+    )
     srt.set_defaults(fn=_cmd_sort)
 
     prd = sub.add_parser(
@@ -285,8 +326,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import AdmissionRejected, Cancellation
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except Cancellation as exc:
+        # A cancelled/deadlined run is an orderly outcome, not a crash:
+        # the last pass-boundary checkpoint is valid for --resume.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except AdmissionRejected as exc:
+        print(f"error: admission rejected ({exc.reason}): {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -41,8 +41,17 @@ class MailboxRouter:
         self._closed = False
         self.fault_plan = None
         self.retry_policy = None
+        self.cancel_token = None
         self.comm_retries = 0
         self._activity: dict[int, float] = {}
+
+    def _check_cancel(self) -> None:
+        """Raise the attached token's structured exception once it is
+        cancelled, so blocked sends/receives unwind within one poll
+        slice (duck-typed; no :mod:`repro.governor` import)."""
+        token = self.cancel_token
+        if token is not None and token.cancelled():
+            raise token.exception()
 
     def _queue_for(self, source: int, dest: int, tag: object) -> queue.SimpleQueue:
         key = (source, dest, tag)
@@ -73,6 +82,7 @@ class MailboxRouter:
         while True:
             if self._closed:
                 raise CommError("communicator has been shut down")
+            self._check_cancel()
             try:
                 if plan is not None:
                     plan.check("comm", where=f"{source}->{dest} tag={tag!r}")
@@ -86,7 +96,11 @@ class MailboxRouter:
                     raise
                 with self._lock:
                     self.comm_retries += 1
-                time.sleep(policy.delay_s(attempt))
+                token = self.cancel_token
+                if token is not None:
+                    token.sleep(policy.delay_s(attempt))
+                else:
+                    time.sleep(policy.delay_s(attempt))
                 attempt += 1
         self._queue_for(source, dest, tag).put(payload)
         self.touch(source)
@@ -101,6 +115,7 @@ class MailboxRouter:
         while True:
             if self._closed:
                 raise CommError("communicator has been shut down")
+            self._check_cancel()
             try:
                 payload = q.get(timeout=slice_s)
             except queue.Empty:

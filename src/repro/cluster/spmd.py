@@ -29,7 +29,13 @@ from typing import Callable, Sequence
 from repro.cluster.comm import Comm
 from repro.cluster.mailbox import DEFAULT_TIMEOUT, MailboxRouter
 from repro.cluster.stats import CommStats
-from repro.errors import CommError, ConfigError, SpmdError, WatchdogTimeout
+from repro.errors import (
+    Cancellation,
+    CommError,
+    ConfigError,
+    SpmdError,
+    WatchdogTimeout,
+)
 
 
 @dataclass
@@ -74,6 +80,7 @@ def run_spmd(
     fault_plan=None,
     retry_policy=None,
     quarantine=None,
+    cancel=None,
     **kwargs,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` ranks.
@@ -105,6 +112,13 @@ def run_spmd(
         Optional :class:`~repro.resilience.quarantine.DiskQuarantine`
         shared with the run's disks; its counters are snapshotted into
         the result's durability fields.
+    cancel:
+        Optional :class:`~repro.governor.CancelToken` attached to the
+        mailbox fabric, so every blocked send/receive is a cancellation
+        point. A run whose primary failure is a
+        :class:`~repro.errors.Cancellation` re-raises it *unwrapped*
+        (not inside :class:`~repro.errors.SpmdError`): the caller asked
+        for the stop and should catch the structured cause directly.
 
     Returns
     -------
@@ -122,6 +136,7 @@ def run_spmd(
     router = MailboxRouter(timeout=timeout)
     router.fault_plan = fault_plan
     router.retry_policy = retry_policy
+    router.cancel_token = cancel
     stats = [CommStats(rank=p) for p in range(size)]
     comms = [Comm(p, size, router, stats[p]) for p in range(size)]
     returns: list = [None] * size
@@ -189,18 +204,24 @@ def run_spmd(
     if failures:
         # A CommError("shut down") on another rank is collateral damage of
         # the primary failure; prefer reporting a non-collateral cause,
-        # and a genuine rank failure over the watchdog's verdict. Within a
-        # class, report the lowest-numbered rank.
-        ranked = sorted(
-            failures,
-            key=lambda f: (
-                0 if not (_is_collateral(f[1]) or isinstance(f[1], WatchdogTimeout))
-                else 1 if isinstance(f[1], WatchdogTimeout)
-                else 2,
-                f[0],
-            ),
-        )
+        # a genuine rank failure over a requested cancellation (the bug
+        # outranks the stop that raced it), and either over the
+        # watchdog's verdict. Within a class, report the lowest rank.
+        def severity(exc: BaseException) -> int:
+            if isinstance(exc, Cancellation):
+                return 1
+            if isinstance(exc, WatchdogTimeout):
+                return 2
+            if _is_collateral(exc):
+                return 3
+            return 0
+
+        ranked = sorted(failures, key=lambda f: (severity(f[1]), f[0]))
         rank, cause = ranked[0]
+        if isinstance(cause, Cancellation):
+            # The caller asked for this stop; hand back the structured
+            # cancellation itself, not a rank-failure wrapper.
+            raise cause
         raise SpmdError(rank, cause) from cause
     result = SpmdResult(
         returns=returns, stats=stats, comm_retries=router.comm_retries

@@ -53,8 +53,13 @@ class VirtualDisk:
         Optional shared :class:`IoStats`; a private one is created
         otherwise.
 
-    Four optional attributes hook in the resilience and durability
-    layers: ``fault_plan`` (a
+    Optional attributes hook in the resilience, durability, and
+    governance layers: ``scratch_governor`` (a
+    :class:`~repro.governor.RunGovernor` consulted on
+    :class:`~repro.errors.DiskFullError` — reclaim dead scratch and
+    retry, or degrade and fail), ``cancel_token`` (a
+    :class:`~repro.governor.CancelToken` making every op attempt a
+    cancellation point), ``fault_plan`` (a
     :class:`~repro.resilience.faults.FaultPlan` consulted at the top of
     every read/write, before side effects), ``retry_policy`` (a
     :class:`~repro.resilience.retry.RetryPolicy` that retries transient
@@ -81,9 +86,14 @@ class VirtualDisk:
         self.retry_policy = None
         self.quarantine = None
         self.parity_layer = None
+        self.scratch_governor = None
+        self.cancel_token = None
         self.checksums = BlockChecksums(self.root)
-        self._lock = threading.Lock()
+        # Re-entrant: a degraded write holds the lock while the parity
+        # layer's ensure_spare calls back into reserve_spare.
+        self._lock = threading.RLock()
         self._sizes: dict[str, int] = {}
+        self._spare_sizes: dict[str, int] = {}
         for path in self.root.iterdir():
             if path.is_file():
                 self._sizes[path.name] = path.stat().st_size
@@ -133,12 +143,23 @@ class VirtualDisk:
         a retried op is indistinguishable from a fresh one. A dead disk
         skips the fault plan entirely (its medium is gone; the op is
         served from parity/spare, or fails fast without one).
+
+        :class:`~repro.errors.DiskFullError` never reaches the retry
+        policy (backoff cannot free space); instead an attached
+        ``scratch_governor`` (the run's
+        :class:`~repro.governor.RunGovernor`) walks its reclaim/degrade
+        ladder and says whether one metered retry is warranted. An
+        attached ``cancel_token`` makes every attempt (and every
+        backoff sleep) a cancellation point.
         """
         policy = self.retry_policy
         attempt = 1
         repaired = False
         rerouted = False
         while True:
+            token = self.cancel_token
+            if token is not None and token.cancelled():
+                raise token.exception()
             try:
                 if self._degraded():
                     if self.parity_layer is None:
@@ -175,6 +196,14 @@ class VirtualDisk:
                     self.parity_layer.repair(self, exc.name, exc.extents)
                     self.stats.record_retry(op)
                     continue
+                # ENOSPC: hand the run governor one shot at its ladder
+                # (reclaim dead scratch → retry; else degrade → raise).
+                if isinstance(exc, DiskFullError):
+                    governor = self.scratch_governor
+                    if governor is not None and governor.handle_disk_full(self):
+                        self.stats.record_retry(op)
+                        continue
+                    raise
                 if (
                     policy is None
                     or attempt >= policy.max_attempts
@@ -182,15 +211,46 @@ class VirtualDisk:
                 ):
                     raise
                 self.stats.record_retry(op)
-                time.sleep(policy.delay_s(attempt))
+                if token is not None:
+                    token.sleep(policy.delay_s(attempt))
+                else:
+                    time.sleep(policy.delay_s(attempt))
                 attempt += 1
 
     # ------------------------------------------------------------------
 
+    def _used_locked(self) -> int:
+        return sum(self._sizes.values()) + sum(self._spare_sizes.values())
+
     def used_bytes(self) -> int:
-        """Total bytes currently stored on this disk."""
+        """Total bytes currently stored on this disk — cataloged objects
+        plus degraded-mode ``.spare/`` materializations (a reconstructed
+        copy occupies real capacity)."""
         with self._lock:
-            return sum(self._sizes.values())
+            return self._used_locked()
+
+    def reserve_spare(self, name: str, new_size: int) -> None:
+        """Account a ``.spare/`` materialization of ``name`` growing to
+        ``new_size`` bytes against this disk's capacity. Raises
+        :class:`DiskFullError` *before* any spare bytes land, so a
+        reconstruction near capacity fails structurally instead of
+        silently exceeding the limit. Idempotent for non-growing calls.
+        """
+        with self._lock:
+            old = self._spare_sizes.get(name, 0)
+            grow = new_size - old
+            if grow <= 0:
+                return
+            if (
+                self.capacity_bytes is not None
+                and self._used_locked() + grow > self.capacity_bytes
+            ):
+                raise DiskFullError(
+                    f"disk {self.disk_id} full: cannot materialize spare copy "
+                    f"of {name!r} ({grow} more bytes, capacity "
+                    f"{self.capacity_bytes})"
+                )
+            self._spare_sizes[name] = new_size
 
     def size(self, name: str) -> int:
         """Current size of an object (0 if absent)."""
@@ -242,7 +302,7 @@ class VirtualDisk:
                 new_size = max(old_size, offset + nbytes)
                 if self.capacity_bytes is not None:
                     grow = new_size - old_size
-                    if grow > 0 and sum(self._sizes.values()) + grow > self.capacity_bytes:
+                    if grow > 0 and self._used_locked() + grow > self.capacity_bytes:
                         raise DiskFullError(
                             f"disk {self.disk_id} full: cannot grow {name!r} by "
                             f"{grow} bytes (capacity {self.capacity_bytes})"
@@ -250,8 +310,12 @@ class VirtualDisk:
                 if degraded:
                     # The medium is gone: surviving content is faulted
                     # into the spare region first, then the write lands
-                    # there too.
+                    # there too. Both steps are capacity-accounted
+                    # (reserve_spare), so a reconstruction near the
+                    # limit raises DiskFullError instead of silently
+                    # exceeding it.
                     target = layer.ensure_spare(self, name, old_size)
+                    self.reserve_spare(name, new_size)
                     self.quarantine.record_spare_write()
                 else:
                     target = path
@@ -339,6 +403,7 @@ class VirtualDisk:
         path = self._path(name)
         with self._lock:
             self._sizes.pop(name, None)
+            self._spare_sizes.pop(name, None)
             layer = self.parity_layer
             if layer is not None:
                 # Fold the object's extents out of their parity rows

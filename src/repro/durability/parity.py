@@ -91,6 +91,7 @@ class ParityLayer:
         self._rows: dict[int, dict[int, _Extent]] = {}
         self._row_len: dict[int, int] = {}
         self._next_slot = [0] * self.d
+        self.maintenance_enabled = True
         self.counters = {key: 0 for key in PARITY_KEYS}
         for disk in self._order:
             for sub in (".parity", ".spare"):
@@ -104,6 +105,14 @@ class ParityLayer:
     def counters_snapshot(self) -> dict:
         with self._lock:
             return dict(self.counters)
+
+    def disable_maintenance(self) -> None:
+        """Stop maintaining parity for *new* writes (the run governor's
+        disk-full degradation: ``.parity/`` stops growing). Existing
+        rows keep serving reconstructions and repairs; writes made
+        while maintenance is off are simply unprotected."""
+        with self._lock:
+            self.maintenance_enabled = False
 
     # -- geometry --------------------------------------------------------
 
@@ -212,6 +221,8 @@ class ParityLayer:
     def on_write(self, disk, name: str, offset: int, data, spare: bool) -> None:
         """Hook called by the disk *before* the file write lands, under
         the disk's lock; ``data`` is the new extent's bytes."""
+        if not self.maintenance_enabled:
+            return
         mv = memoryview(data).cast("B")
         nbytes = mv.nbytes
         if nbytes == 0:
@@ -299,7 +310,14 @@ class ParityLayer:
         (uncataloged regions were zero-filled gaps, so zeros are
         faithful). Idempotent; later calls only rebuild extents that
         are still primary.
+
+        The spare bytes are reserved against the disk's capacity first
+        (every cataloged extent ends within the object's logical size,
+        so ``logical_size`` bounds the materialization) — and *before*
+        taking the layer lock, keeping the disk-then-layer lock order
+        that every other path uses.
         """
+        disk.reserve_spare(name, logical_size)
         sdir = self.spare_path(disk)
         path = sdir / name
         with self._lock:

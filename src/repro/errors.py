@@ -147,5 +147,63 @@ class WatchdogTimeout(ResilienceError):
         )
 
 
+class GovernorError(ReproError, RuntimeError):
+    """The resource-governance layer refused, stopped, or bounded work
+    (cancellation, deadlines, memory budgets, admission control)."""
+
+
+class Cancellation(GovernorError):
+    """Base of the two structured ways a run is asked to stop: an
+    explicit cancel and an expired deadline. Rank programs raise one of
+    the subclasses from their next cancellation point (a pool wait, a
+    mailbox wait, a retry backoff sleep, or a pass boundary); the SPMD
+    launcher re-raises it unwrapped so callers can catch the precise
+    cause without unpacking an :class:`SpmdError`."""
+
+
+class CancelledError(Cancellation):
+    """The run was cancelled via its
+    :class:`~repro.governor.CancelToken`; carries the reason given."""
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        super().__init__(f"run cancelled: {reason}")
+
+
+class DeadlineExceeded(Cancellation):
+    """The run's wall-clock deadline expired before it finished."""
+
+    def __init__(self, deadline_s: float) -> None:
+        self.deadline_s = deadline_s
+        super().__init__(f"run exceeded its deadline of {deadline_s:.1f}s")
+
+
+class BudgetExceeded(GovernorError):
+    """A memory-budget wait could not be satisfied: the request is
+    larger than the whole budget, or backpressure blocked past the
+    budget timeout without enough bytes being recycled."""
+
+    def __init__(self, requested: int, budget: int, held: int, why: str) -> None:
+        self.requested = requested
+        self.budget = budget
+        self.held = held
+        super().__init__(
+            f"buffer-pool budget exceeded: need {requested} bytes with "
+            f"{held} of {budget} held — {why}"
+        )
+
+
+class AdmissionRejected(GovernorError):
+    """The :class:`~repro.governor.JobGovernor` shed this job instead of
+    admitting it (queue full, queue timeout, or a demand no quota could
+    ever satisfy); carries which."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        super().__init__(
+            f"job not admitted ({reason})" + (f": {detail}" if detail else "")
+        )
+
+
 class VerificationError(ReproError, AssertionError):
     """Sorted-output verification failed (order, permutation, or layout)."""

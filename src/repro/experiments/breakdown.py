@@ -241,6 +241,75 @@ def durability_breakdown_table(result) -> list[dict]:
     return rows
 
 
+def governance_breakdown_table(result) -> list[dict]:
+    """Resource-governance accounting for a functional run, as table rows.
+
+    ``result`` is an :class:`~repro.oocs.base.OocResult`; the rows
+    render its ``governor`` dict — cancellation checks, pool-budget
+    pressure (stalls, evictions, peak held bytes), the disk-full
+    reclaim/degrade ladder, pipeline-depth downshifts, and admission
+    facts when the job went through a
+    :class:`~repro.governor.JobGovernor` — so the table answers "what
+    did the governor do to keep this run inside its budgets". Empty
+    when the run recorded no governance counters.
+    """
+    gov = getattr(result, "governor", None) or {}
+    if not gov:
+        return []
+    rows = [
+        {
+            "metric": "cancel checks",
+            "value": gov.get("cancel_checks", 0),
+            "note": (
+                f"deadline {gov['deadline_s']:.1f}s"
+                if gov.get("deadline_s") is not None
+                else "no deadline armed"
+            ),
+        },
+        {
+            "metric": "budget stalls",
+            "value": gov.get("budget_stalls", 0),
+            "note": (
+                f"budget {gov['budget_bytes']:,} B, "
+                f"peak held {gov.get('peak_held_bytes', 0):,} B"
+                if gov.get("budget_bytes") is not None
+                else "pool budget unlimited"
+            ),
+        },
+        {
+            "metric": "budget evictions",
+            "value": gov.get("budget_evictions", 0),
+            "note": "free buffers dropped to fit the budget",
+        },
+        {
+            "metric": "disk-full events",
+            "value": gov.get("disk_full_events", 0),
+            "note": f"{gov.get('scratch_reclaims', 0)} reclaims freed "
+            f"{gov.get('reclaimed_bytes', 0):,} B",
+        },
+        {
+            "metric": "depth downshifts",
+            "value": gov.get("depth_downshifts", 0)
+            + (1 if gov.get("degraded") else 0),
+            "note": "degraded: read-ahead + parity maintenance off"
+            if gov.get("degraded")
+            else "pipeline depth reduced under pool pressure",
+        },
+    ]
+    if "admission_wait_s" in gov:
+        rows.append(
+            {
+                "metric": "admission wait (s)",
+                "value": round(gov["admission_wait_s"], 3),
+                "note": f"admitted {gov.get('admitted_mem_bytes', 0):,} B mem / "
+                f"{gov.get('admitted_scratch_bytes', 0):,} B scratch",
+            }
+        )
+    for row in rows:
+        row["algorithm"] = result.algorithm
+    return rows
+
+
 def io_boundedness(rows: list[dict]) -> dict[str, float]:
     """Mean I/O-thread utilization per algorithm — the quantitative form
     of the paper's 'how I/O-bound is it' narrative."""

@@ -25,14 +25,27 @@ Two acquisition modes:
 of a pooled dtype — recycling a *view* (a slice of a packed alltoallv
 buffer, say) is deliberately a no-op, because handing out a buffer that
 aliases live data would corrupt records in flight.
+
+Byte budget (:meth:`set_budget`): the pool tracks its *held bytes* —
+freelist arrays plus open tracked leases — and, with a budget set, a
+:meth:`lease` that would allocate past it first evicts idle freelist
+arrays, then blocks (budget backpressure) until other leases are
+recycled, and finally raises :class:`~repro.errors.BudgetExceeded` if
+the bytes never materialize. Backpressure stalls are counted and
+consumed by the run governor's adaptive pipeline-depth downshift
+(:meth:`consume_pressure`). :meth:`grab` is exempt: its arrays leave
+the pool's ownership at the call, so charging them would double-count
+the consumer's own accounting.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
+from repro.errors import BudgetExceeded
 from repro.membuf.copystats import copy_stats
 
 #: Freelist depth per (dtype, rows) key. Deep enough for one in-flight
@@ -40,40 +53,135 @@ from repro.membuf.copystats import copy_stats
 #: allocator is cheaper than hoarding memory.
 MAX_FREE_PER_KEY = 8
 
+#: Seconds between wakeups of a budget-blocked lease (matches the
+#: pipeline pools' poll interval, so cancellation latency is uniform).
+_BUDGET_POLL = 0.05
+
 
 class BufferPool:
     """Thread-safe freelist of dtyped record arrays keyed by
-    ``(dtype, rows)``."""
+    ``(dtype, rows)``, with an optional hard byte budget."""
 
-    def __init__(self, max_free_per_key: int = MAX_FREE_PER_KEY) -> None:
+    def __init__(
+        self,
+        max_free_per_key: int = MAX_FREE_PER_KEY,
+        budget_bytes: int | None = None,
+        budget_timeout_s: float = 30.0,
+    ) -> None:
         self._max_free = int(max_free_per_key)
         self._free: dict[tuple[np.dtype, int], list[np.ndarray]] = {}
         # Strong references to tracked leases, keyed by id(). The strong
         # reference is what makes id() safe as a key: the array cannot
         # be collected (and its id reused) while the lease is open.
         self._tracked: dict[int, np.ndarray] = {}
-        self._lock = threading.Lock()
+        self._cv = threading.Condition()
+        self._budget = budget_bytes
+        self._budget_timeout = budget_timeout_s
+        self._held = 0
+        self._peak_held = 0
+        self._stalls = 0
+        self._evictions = 0
+        self._pressure_mark = 0
+
+    # -- budget ---------------------------------------------------------
+
+    def set_budget(
+        self, budget_bytes: int | None, timeout_s: float | None = None
+    ) -> None:
+        """Install (or with None, remove) the hard byte budget."""
+        with self._cv:
+            self._budget = budget_bytes
+            if timeout_s is not None:
+                self._budget_timeout = timeout_s
+            self._cv.notify_all()
+
+    def _bump_held(self, delta: int) -> None:
+        """Adjust held bytes (call with ``self._cv`` held)."""
+        self._held += delta
+        if self._held > self._peak_held:
+            self._peak_held = self._held
+        if delta < 0:
+            self._cv.notify_all()
+
+    def _evict_until(self, target: int) -> None:
+        """Drop idle freelist arrays until held bytes <= ``target`` (or
+        the freelists are empty). Call with ``self._cv`` held."""
+        for key in list(self._free):
+            stack = self._free[key]
+            while stack and self._held > target:
+                arr = stack.pop()
+                self._bump_held(-arr.nbytes)
+                self._evictions += 1
+            if not stack:
+                del self._free[key]
+            if self._held <= target:
+                return
+
+    def _wait_for_budget(self, need: int) -> None:
+        """Block until ``need`` fresh bytes fit under the budget. Call
+        with ``self._cv`` held; raises :class:`BudgetExceeded` when the
+        request can never fit or backpressure outlasts the timeout."""
+        budget = self._budget
+        if self._held + need <= budget:
+            return
+        if need > budget:
+            raise BudgetExceeded(
+                need, budget, self._held,
+                "the request is larger than the whole budget",
+            )
+        self._evict_until(budget - need)
+        if self._held + need <= budget:
+            return
+        self._stalls += 1
+        deadline = time.monotonic() + self._budget_timeout
+        while self._held + need > self._budget:
+            left = deadline - time.monotonic()
+            if left <= 0:
+                raise BudgetExceeded(
+                    need, self._budget, self._held,
+                    f"backpressure blocked for {self._budget_timeout:.1f}s "
+                    "without enough leases being recycled",
+                )
+            self._cv.wait(min(left, _BUDGET_POLL))
+            if self._budget is None:
+                return
+            self._evict_until(self._budget - need)
 
     # -- acquisition ---------------------------------------------------
 
-    def _take(self, dtype: np.dtype, rows: int) -> np.ndarray:
+    def _take(self, dtype: np.dtype, rows: int, track: bool) -> np.ndarray:
         dtype = np.dtype(dtype)
-        key = (dtype, int(rows))
-        with self._lock:
+        rows = int(rows)
+        key = (dtype, rows)
+        need = dtype.itemsize * rows
+        with self._cv:
             stack = self._free.get(key)
             if stack:
                 arr = stack.pop()
+                if track:
+                    self._tracked[id(arr)] = arr
+                else:
+                    # Ownership leaves the pool with the array.
+                    self._bump_held(-arr.nbytes)
                 copy_stats().record_pool(hit=True)
                 return arr
+            if track:
+                if self._budget is not None:
+                    self._wait_for_budget(need)
+                self._bump_held(need)
         copy_stats().record_pool(hit=False)
-        return np.empty(int(rows), dtype=dtype)
+        arr = np.empty(rows, dtype=dtype)
+        if track:
+            with self._cv:
+                self._tracked[id(arr)] = arr
+        return arr
 
     def lease(self, dtype: np.dtype, rows: int) -> np.ndarray:
         """Acquire a tracked ``rows``-long array of ``dtype``; pair with
-        :meth:`recycle`."""
-        arr = self._take(dtype, rows)
-        with self._lock:
-            self._tracked[id(arr)] = arr
+        :meth:`recycle`. With a budget set, a lease that needs a fresh
+        allocation blocks while the pool is at its byte ceiling."""
+        arr = self._take(dtype, rows, track=True)
+        with self._cv:
             outstanding = len(self._tracked)
         copy_stats().record_lease(outstanding)
         return arr
@@ -81,7 +189,7 @@ class BufferPool:
     def grab(self, dtype: np.dtype, rows: int) -> np.ndarray:
         """Acquire an untracked array — ownership transfers to the
         caller; the pool forgets it unless it is later recycled."""
-        return self._take(dtype, rows)
+        return self._take(dtype, rows, track=False)
 
     # -- release -------------------------------------------------------
 
@@ -91,51 +199,108 @@ class BufferPool:
         Views and foreign objects are ignored (returns False)."""
         if not isinstance(arr, np.ndarray):
             return False
-        with self._lock:
+        poolable = (
+            arr.ndim == 1 and arr.flags.c_contiguous and arr.flags.owndata
+        )
+        with self._cv:
             tracked = self._tracked.pop(id(arr), None) is not None
+            if not poolable:
+                # A view's memory belongs to someone else; pooling it
+                # would alias live records. Dropping it here is correct:
+                # the lease (if any) is closed and GC handles the base.
+                if tracked:
+                    self._bump_held(-arr.nbytes)
+            else:
+                key = (arr.dtype, arr.shape[0])
+                stack = self._free.setdefault(key, [])
+                fits = len(stack) < self._max_free and (
+                    tracked
+                    or self._budget is None
+                    or self._held + arr.nbytes <= self._budget
+                )
+                if fits:
+                    stack.append(arr)
+                    if tracked:
+                        self._cv.notify_all()  # lease closed: bytes moved
+                    else:
+                        self._bump_held(arr.nbytes)
+                else:
+                    poolable = False
+                    if tracked:
+                        self._bump_held(-arr.nbytes)
         if tracked:
             copy_stats().record_return()
-        if arr.ndim != 1 or not arr.flags.c_contiguous or not arr.flags.owndata:
-            # A view's memory belongs to someone else; pooling it would
-            # alias live records. Dropping it here is correct: the lease
-            # (if any) is closed and GC handles the base buffer.
-            return False
-        key = (arr.dtype, arr.shape[0])
-        with self._lock:
-            stack = self._free.setdefault(key, [])
-            if len(stack) < self._max_free:
-                stack.append(arr)
-        return True
+        return poolable
 
     # -- bookkeeping ---------------------------------------------------
 
     def outstanding(self) -> int:
         """Number of tracked leases not yet recycled."""
-        with self._lock:
+        with self._cv:
             return len(self._tracked)
 
     def forget_leases(self) -> int:
         """Drop all tracked leases without pooling them (crash cleanup:
         a failed rank cannot recycle its in-flight buffers). Returns the
         number forgotten."""
-        with self._lock:
+        with self._cv:
             n = len(self._tracked)
+            for arr in self._tracked.values():
+                self._bump_held(-arr.nbytes)
             self._tracked.clear()
+            self._cv.notify_all()
         for _ in range(n):
             copy_stats().record_return()
         return n
 
     def free_buffers(self) -> int:
         """Total arrays currently sitting in freelists."""
-        with self._lock:
+        with self._cv:
             return sum(len(stack) for stack in self._free.values())
 
     def clear(self) -> int:
         """Empty the freelists and forget every tracked lease; returns
         the number of leases that were still outstanding."""
-        with self._lock:
+        with self._cv:
+            for stack in self._free.values():
+                for arr in stack:
+                    self._bump_held(-arr.nbytes)
             self._free.clear()
         return self.forget_leases()
+
+    def held_bytes(self) -> int:
+        """Bytes the pool currently answers for: freelists plus open
+        tracked leases."""
+        with self._cv:
+            return self._held
+
+    def consume_pressure(self) -> int:
+        """Backpressure stalls since the previous call (the run
+        governor's downshift signal)."""
+        with self._cv:
+            since = self._stalls - self._pressure_mark
+            self._pressure_mark = self._stalls
+            return since
+
+    def budget_snapshot(self) -> dict:
+        """Budget accounting for reports and tests."""
+        with self._cv:
+            return {
+                "budget_bytes": self._budget,
+                "held_bytes": self._held,
+                "peak_held_bytes": self._peak_held,
+                "budget_stalls": self._stalls,
+                "budget_evictions": self._evictions,
+            }
+
+    def reset_budget_accounting(self) -> None:
+        """Rebase the peak/stall counters to the current state (between
+        runs sharing the global pool)."""
+        with self._cv:
+            self._peak_held = self._held
+            self._stalls = 0
+            self._evictions = 0
+            self._pressure_mark = 0
 
 
 _GLOBAL = BufferPool()

@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.cluster.config import ClusterConfig
 from repro.errors import ConfigError
+from repro.governor import CancelToken, get_job_governor
+from repro.membuf import get_pool
 from repro.oocs.base import OocJob, OocResult, make_workspace
 from repro.oocs.baseline_io import baseline_io_passes
 from repro.oocs.hybrid import hybrid_columnsort_ooc
@@ -37,6 +39,22 @@ ALGORITHMS: dict[str, tuple] = {
 }
 
 
+def job_demands(job: OocJob) -> tuple[int, int]:
+    """Declared ``(mem_bytes, scratch_bytes)`` demand of a job, for
+    admission control.
+
+    Memory: every rank pins one column buffer per pipeline slot
+    (``2·depth``) plus a handful of working copies (sorted column,
+    packed send, receive) — conservatively 4. Scratch: a pass program
+    keeps at most input + two generations of intermediates on disk at
+    once, ≈ ``3·N`` records (the paper's experiments were disk-space
+    limited at exactly this multiple — footnote 7).
+    """
+    mem = job.buffer_bytes * job.cluster.p * (2 * job.pipeline_depth + 4)
+    scratch = 3 * job.n * job.fmt.record_size
+    return mem, scratch
+
+
 def sort_out_of_core(
     algorithm: str,
     records: np.ndarray,
@@ -54,6 +72,10 @@ def sort_out_of_core(
     watchdog_deadline: float | None = None,
     parity: bool = False,
     audit: bool = False,
+    cancel: CancelToken | None = None,
+    deadline_s: float | None = None,
+    mem_budget_bytes: int | None = None,
+    governor=None,
 ) -> OocResult:
     """Sort ``records`` out-of-core with the named algorithm
     (``"threaded"``, ``"subblock"``, ``"m"``, or ``"hybrid"``).
@@ -89,6 +111,21 @@ def sort_out_of_core(
     both land in ``OocResult.durability``. A degraded run should call
     ``OocResult.release_durability()`` once its output has been read.
 
+    Governance knobs (see :mod:`repro.governor`): ``cancel`` threads a
+    :class:`~repro.governor.CancelToken` through every blocking seam —
+    cancelling it (or passing ``deadline_s``, which builds a
+    deadline-armed token) unwinds all ranks within one poll interval
+    into a structured :class:`~repro.errors.Cancellation`, leaking no
+    leases/threads/quarantines and leaving the last checkpoint valid
+    for ``resume``. ``mem_budget_bytes`` installs a hard byte budget on
+    the (process-wide) buffer pool: leases block under backpressure and
+    the run downshifts its pipeline depth when pressure persists.
+    ``governor`` (or a process-wide one installed via
+    :func:`repro.governor.set_job_governor`) gates the run through
+    admission control — it may queue FIFO and can be shed with
+    :class:`~repro.errors.AdmissionRejected`. Counters land in
+    ``OocResult.governor``.
+
     >>> from repro.records import RecordFormat, generate
     >>> from repro.cluster import ClusterConfig
     >>> fmt = RecordFormat("u8", 64)
@@ -111,6 +148,17 @@ def sort_out_of_core(
         )
     if checkpoint_dir is None and resume:
         raise ConfigError("resume=True needs a checkpoint_dir")
+    if deadline_s is not None:
+        if cancel is not None:
+            raise ConfigError(
+                "pass either cancel= or deadline_s=, not both (arm the "
+                "deadline on your own CancelToken instead)"
+            )
+        cancel = CancelToken(deadline_s=deadline_s)
+    if mem_budget_bytes is not None:
+        # The buffer pool is process-wide, so the budget outlives this
+        # call; the last caller to set it wins.
+        get_pool().set_budget(mem_budget_bytes)
     job = OocJob(
         cluster=cluster,
         fmt=fmt,
@@ -123,24 +171,39 @@ def sort_out_of_core(
         watchdog_deadline=watchdog_deadline,
         parity=parity,
         audit=audit,
+        cancel=cancel,
     )
-    r, s = shape_of(job)
-    ws = make_workspace(
-        cluster, fmt, records, r, s,
-        workdir=workdir, striped=striped, parity=parity,
-    )
-    try:
-        result = runner(
-            job,
-            ws.input,
-            collect_trace=collect_trace,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
+    if governor is None:
+        governor = get_job_governor()
+    ticket = None
+    if governor is not None:
+        mem_demand, scratch_demand = job_demands(job)
+        ticket = governor.admit(
+            mem_bytes=mem_demand, scratch_bytes=scratch_demand, cancel=cancel
         )
-    except BaseException:
-        if ws._tmp is not None:
-            ws._tmp.cleanup()  # a temp workspace of a failed run is garbage
-        raise
+    try:
+        r, s = shape_of(job)
+        ws = make_workspace(
+            cluster, fmt, records, r, s,
+            workdir=workdir, striped=striped, parity=parity,
+        )
+        try:
+            result = runner(
+                job,
+                ws.input,
+                collect_trace=collect_trace,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
+        except BaseException:
+            if ws._tmp is not None:
+                ws._tmp.cleanup()  # a temp workspace of a failed run is garbage
+            raise
+    finally:
+        if ticket is not None:
+            ticket.release()
+    if ticket is not None:
+        result.governor.update(ticket.snapshot())
     result.workspace = ws  # keep disks (and any TemporaryDirectory) alive
     if verify:
         verify_output(result.output, records)
@@ -155,8 +218,20 @@ def run_baseline_io(
     passes: int = 3,
     workdir: str | Path | None = None,
     pipeline_depth: int = 0,
+    cancel: CancelToken | None = None,
+    collect_trace: bool = True,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    retry_policy=None,
+    fault_plan=None,
 ) -> OocResult:
-    """Run the §5 I/O-only baseline over ``records``."""
+    """Run the §5 I/O-only baseline over ``records``.
+
+    ``cancel`` / ``checkpoint_dir`` / ``resume`` / ``retry_policy`` /
+    ``fault_plan`` behave exactly as in :func:`sort_out_of_core`, so the
+    baseline participates in the same cancel-then-resume and chaos
+    drills as the real algorithms.
+    """
     job = OocJob(
         cluster=cluster,
         fmt=fmt,
@@ -164,9 +239,19 @@ def run_baseline_io(
         buffer_records=buffer_records,
         workdir=workdir,
         pipeline_depth=pipeline_depth,
+        cancel=cancel,
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
     )
     r, s = threaded_shape(job)
     ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir)
-    result = baseline_io_passes(job, ws.input, passes=passes)
+    result = baseline_io_passes(
+        job,
+        ws.input,
+        passes=passes,
+        collect_trace=collect_trace,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     result.workspace = ws
     return result

@@ -126,6 +126,13 @@ class OocJob:
         Verify columnsort invariants of every pass's output (sampled,
         on rank 0) before its checkpoint is declared good; violations
         raise :class:`~repro.errors.AuditError`.
+    cancel:
+        Optional :class:`~repro.governor.CancelToken`. Threaded through
+        the pipeline pools, the mailbox fabric, the disks' op loops,
+        and the pass-boundary loop, so a cancel (or expired deadline)
+        unwinds every rank within one poll interval into a structured
+        :class:`~repro.errors.Cancellation` — with the last
+        pass-boundary checkpoint still valid for a later resume.
     """
 
     cluster: ClusterConfig
@@ -140,6 +147,7 @@ class OocJob:
     watchdog_deadline: float | None = None
     parity: bool = False
     audit: bool = False
+    cancel: object = None
 
     def __post_init__(self) -> None:
         if self.pipeline_depth < 0:
@@ -165,10 +173,11 @@ class OocJob:
         return self.buffer_records * self.fmt.record_size
 
     def pipeline_plan(self) -> PipelinePlan:
-        """The per-pass overlap plan this job asks for."""
-        if self.pipeline_depth == 0:
+        """The per-pass overlap plan this job asks for (the cancel
+        token rides on the plan, so every pool wait observes it)."""
+        if self.pipeline_depth == 0 and self.cancel is None:
             return SYNCHRONOUS
-        return PipelinePlan(depth=self.pipeline_depth)
+        return PipelinePlan(depth=self.pipeline_depth, cancel=self.cancel)
 
 
 @dataclass
@@ -185,6 +194,7 @@ class OocResult:
     comm_total: dict  # aggregate across ranks
     copy: dict = field(default_factory=dict)  # data-plane copy accounting
     durability: dict = field(default_factory=dict)  # checksums/parity/audit
+    governor: dict = field(default_factory=dict)  # budgets/ladder/admission
     trace: RunTrace | None = None
     workspace: object = None  # set by the convenience API to pin disks alive
 
@@ -702,6 +712,7 @@ def execute_passes(
     checkpoint=None,
     algorithm: str = "",
     start_pass: int = 0,
+    governor=None,
 ) -> dict:
     """The shared SPMD rank program: run ``specs`` in order over
     ``stores``, with per-pass accounting and optional pass-boundary
@@ -722,6 +733,15 @@ def execute_passes(
     whose output violates a columnsort invariant fails the run instead
     of becoming a resume point. (Audit reads are metered store reads;
     the byte-exact pass-count tests therefore run with auditing off.)
+
+    With ``governor`` (the run's
+    :class:`~repro.governor.RunGovernor`) set, each pass start updates
+    the governor's live-store bookkeeping and runs under its
+    *effective* plan — the job's plan minus any pressure downshift,
+    depth 0 once degraded. ``job.cancel`` makes every pass boundary a
+    cancellation point, checked *after* the boundary's checkpoint is
+    persisted so a cancelled run always resumes from the pass it
+    finished last.
     """
     fmt = job.fmt
     plan = job.pipeline_plan()
@@ -737,8 +757,16 @@ def execute_passes(
     for index, spec in enumerate(specs, start=1):
         if index <= start_pass:
             continue
+        if job.cancel is not None:
+            job.cancel.check()
+        effective = plan
+        if governor is not None:
+            governor.begin_pass(index)
+            effective = governor.effective_plan(plan)
         trace = new_pass_trace(spec.name, spec.shape) if want_trace else None
-        spec.body(comm, stores[spec.src], stores[spec.dst], fmt, trace, plan=plan)
+        spec.body(
+            comm, stores[spec.src], stores[spec.dst], fmt, trace, plan=effective
+        )
         marker.mark()
         if trace is not None:
             traces.append(trace)
@@ -750,6 +778,11 @@ def execute_passes(
             if comm.rank == 0:
                 checkpoint.save_pass(job, algorithm, index, total, stores[spec.dst])
             comm.barrier()
+        if job.cancel is not None:
+            # Boundary cancellation point — after the checkpoint is
+            # durable, so a cancelled run resumes from this pass.
+            job.cancel.pass_boundary(index)
+            job.cancel.check()
     return {
         "traces": traces,
         "comm_per_pass": marker.comm_deltas(),
@@ -813,6 +846,8 @@ def run_pass_program(
     ``keep_intermediates``).
     """
     from repro.cluster.stats import combined
+    from repro.errors import Cancellation
+    from repro.governor import RunGovernor, attach_governor
     from repro.resilience.checkpoint import CheckpointStore
 
     cluster, fmt = job.cluster, job.fmt
@@ -834,6 +869,10 @@ def run_pass_program(
         else:
             ckpt.clear()
 
+    run_governor = RunGovernor(stores, specs, cancel=job.cancel)
+    attach_governor(disks, run_governor)
+    pool = get_pool()
+    pool.reset_budget_accounting()
     io_before = IoStats.combine([d.stats for d in disks])
     try:
         res, copy = run_spmd_metered(
@@ -846,14 +885,23 @@ def run_pass_program(
             checkpoint=ckpt,
             algorithm=algorithm,
             start_pass=start_pass,
+            governor=run_governor,
             watchdog_deadline=job.watchdog_deadline,
             fault_plan=job.fault_plan,
             retry_policy=job.retry_policy,
             quarantine=quarantine,
+            cancel=job.cancel,
         )
-    except BaseException:
+    except BaseException as exc:
         cleanup_failed_run(stores, ckpt)
+        if isinstance(exc, Cancellation) and quarantine is not None:
+            # The caller asked for the stop; nothing is left to read
+            # from a degraded workspace, so retire the quarantine from
+            # the leak registry (cancellation must leak nothing).
+            quarantine.release()
         raise
+    finally:
+        attach_governor(disks, None)
     io_after = IoStats.combine([d.stats for d in disks])
 
     rank0 = res.returns[0]
@@ -887,6 +935,12 @@ def run_pass_program(
         durability["audited_passes"] = rank0["audited_passes"]
         durability["audited_units"] = rank0["audited_units"]
 
+    governance = run_governor.snapshot()
+    governance.update(pool.budget_snapshot())
+    if job.cancel is not None:
+        governance["cancel_checks"] = job.cancel.checks
+        governance["deadline_s"] = job.cancel.deadline_s
+
     comm_total = combined(res.stats)
     comm_total["retries"] = res.comm_retries
     return OocResult(
@@ -900,6 +954,7 @@ def run_pass_program(
         comm_total=comm_total,
         copy=copy,
         durability=durability,
+        governor=governance,
         trace=run_trace,
     )
 

@@ -60,10 +60,16 @@ class PipelinePlan:
         Seconds any blocking pool operation may wait before raising
         :class:`~repro.errors.PipelineError` (the pipeline's analogue
         of the mailbox deadlock timeout).
+    cancel:
+        Optional :class:`~repro.governor.CancelToken`. Every bounded
+        pool wait polls it each ``_POLL`` slice and re-raises its
+        structured exception, so a cancelled pass unwinds from its next
+        read/write wait instead of running the pass to completion.
     """
 
     depth: int = 0
     timeout: float = 120.0
+    cancel: object = None
 
     def __post_init__(self) -> None:
         if self.depth < 0:
@@ -74,6 +80,16 @@ class PipelinePlan:
 
 #: The depth-0 plan: the pre-pipeline, strictly sequential code path.
 SYNCHRONOUS = PipelinePlan(depth=0)
+
+
+def _check_cancel(token) -> None:
+    """Raise the token's structured exception once it is cancelled.
+
+    Duck-typed (any object with ``cancelled()``/``exception()``) so this
+    module needs no import from :mod:`repro.governor`.
+    """
+    if token is not None and token.cancelled():
+        raise token.exception()
 
 
 class ReadAhead:
@@ -108,15 +124,22 @@ class ReadAhead:
             self._thread.start()
 
     def _worker(self) -> None:
+        tok = self._plan.cancel
+
+        def stopped() -> bool:
+            return self._stop.is_set() or (
+                tok is not None and tok.cancelled()
+            )
+
         for task in self._tasks:
-            if self._stop.is_set():
+            if stopped():
                 return
             try:
                 item = ("ok", task())
             except BaseException as exc:  # noqa: BLE001 — crosses threads
                 item = ("err", exc)
             delivered = False
-            while not self._stop.is_set():
+            while not stopped():
                 try:
                     self._queue.put(item, timeout=_POLL)
                     delivered = True
@@ -139,17 +162,25 @@ class ReadAhead:
             raise PipelineError("read-ahead exhausted: more gets than tasks")
         self._next += 1
         if self._queue is None:
+            _check_cancel(self._plan.cancel)
             with self._clock.stage(READ_WAIT):
                 return self._tasks[self._next - 1]()
+        deadline = time.monotonic() + self._plan.timeout
         t0 = time.perf_counter()
         try:
-            kind, value = self._queue.get(timeout=self._plan.timeout)
-        except queue.Empty:
-            raise PipelineError(
-                f"read-ahead timed out after {self._plan.timeout}s waiting "
-                f"for buffer {self._next - 1} of {len(self._tasks)} — "
-                f"the underlying read has stalled"
-            ) from None
+            while True:
+                _check_cancel(self._plan.cancel)
+                try:
+                    kind, value = self._queue.get(timeout=_POLL)
+                    break
+                except queue.Empty:
+                    if time.monotonic() >= deadline:
+                        raise PipelineError(
+                            f"read-ahead timed out after {self._plan.timeout}s "
+                            f"waiting for buffer {self._next - 1} of "
+                            f"{len(self._tasks)} — the underlying read has "
+                            f"stalled"
+                        ) from None
         finally:
             self._clock.add(READ_WAIT, time.perf_counter() - t0)
         if kind == "err":
@@ -260,6 +291,7 @@ class WriteBehind:
     def put(self, task: Callable) -> None:
         """Submit one write. Blocks while ``depth`` writes are in flight."""
         if self._queue is None:
+            _check_cancel(self._plan.cancel)
             with self._clock.stage(WRITE_WAIT):
                 task()
             return
@@ -271,6 +303,12 @@ class WriteBehind:
                 self._pending += 1
             while True:
                 self._raise_pending_error()
+                try:
+                    _check_cancel(self._plan.cancel)
+                except BaseException:
+                    with self._cv:
+                        self._pending -= 1
+                    raise
                 try:
                     self._queue.put(task, timeout=_POLL)
                     return
@@ -294,6 +332,7 @@ class WriteBehind:
             with self._clock.stage(WRITE_WAIT):
                 with self._cv:
                     while self._pending > 0:
+                        _check_cancel(self._plan.cancel)
                         if time.monotonic() >= deadline:
                             raise PipelineError(
                                 f"write-behind drain timed out after "
@@ -301,6 +340,8 @@ class WriteBehind:
                                 f"writes still in flight"
                             )
                         self._cv.wait(_POLL)
+        else:
+            _check_cancel(self._plan.cancel)
         self._raise_pending_error()
 
     def close(self) -> None:

@@ -27,12 +27,18 @@ import random
 import threading
 from dataclasses import dataclass
 
-from repro.errors import CommError, DiskError, ResilienceError
+from repro.errors import CommError, DiskError, DiskFullError, ResilienceError
 
 #: Operation kinds a fault spec may target. ``"any"`` matches every
 #: disk op (read and write) but not comm — matching the legacy
 #: ``inject_fault`` contract.
 FAULT_OPS = ("read", "write", "comm", "any")
+
+#: Failure kinds a spec may inject. ``"fault"`` is a medium error
+#: (:class:`~repro.errors.DiskError` / :class:`~repro.errors.CommError`);
+#: ``"disk_full"`` is ENOSPC (:class:`~repro.errors.DiskFullError`),
+#: only meaningful for write-side disk ops.
+FAULT_KINDS = ("fault", "disk_full")
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,13 @@ class FaultSpec:
         counter for a disk-targeted rule counts only that disk's ops,
         so "kill disk 2 at its 5th read" is exact regardless of what
         the other disks do.
+    kind:
+        ``"fault"`` (default) injects a medium error; ``"disk_full"``
+        injects :class:`~repro.errors.DiskFullError` — the disk ran out
+        of space at exactly this op, the precision tool for exercising
+        the governor's reclaim/degrade ladder mid-pass. ``disk_full``
+        rules must target write-side ops (``"write"`` or ``"any"``):
+        reads never allocate space.
     """
 
     op: str = "any"
@@ -73,10 +86,17 @@ class FaultSpec:
     count: int | None = 1
     transient: bool = True
     disk: int | None = None
+    kind: str = "fault"
 
     def __post_init__(self) -> None:
         if self.op not in FAULT_OPS:
             raise ResilienceError(f"unknown fault op {self.op!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ResilienceError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "disk_full" and self.op not in ("write", "any"):
+            raise ResilienceError(
+                f"disk_full faults only fire on write-side ops, not {self.op!r}"
+            )
         if not 0.0 <= self.probability <= 1.0:
             raise ResilienceError(
                 f"fault probability must be in [0, 1], got {self.probability}"
@@ -132,8 +152,10 @@ class FaultPlan:
 
     def _error(self, op: str, spec: FaultSpec, where: str):
         mode = "transient" if spec.transient else "permanent"
-        if op == "comm":
-            exc: Exception = CommError(f"injected {mode} comm fault {where}")
+        if spec.kind == "disk_full":
+            exc: Exception = DiskFullError(f"injected disk-full {where}")
+        elif op == "comm":
+            exc = CommError(f"injected {mode} comm fault {where}")
         else:
             exc = DiskError(f"injected {op} fault {where} ({mode})")
         exc.transient = spec.transient
@@ -162,6 +184,8 @@ class FaultPlan:
             for i, spec in enumerate(self._specs):
                 if not spec.matches(op):
                     continue
+                if spec.kind == "disk_full" and op != "write":
+                    continue  # reads never allocate space
                 if spec.disk is not None and spec.disk != disk_id:
                     continue
                 fired = self._fired.get(i, 0)

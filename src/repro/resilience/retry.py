@@ -91,6 +91,13 @@ class RetryPolicy:
     @staticmethod
     def retryable(exc: BaseException) -> bool:
         """True when retrying ``exc``'s operation could plausibly help."""
+        if isinstance(exc, DiskFullError):
+            # Non-retryable-without-reclaim, whatever its transient flag
+            # says: backing off cannot conjure free space, so ENOSPC must
+            # not burn the backoff budget. Space recovery is the run
+            # governor's job (reclaim dead scratch, then degrade); its
+            # retry happens in the disk's op loop, outside this policy.
+            return False
         transient = getattr(exc, "transient", None)
         if transient is not None:
             return bool(transient)
@@ -99,8 +106,6 @@ class RetryPolicy:
             # block from parity before the retry; without parity there
             # is nothing a retry could change.
             return bool(exc.repairable)
-        if isinstance(exc, DiskFullError):
-            return False
         if isinstance(exc, DiskError):
             msg = str(exc)
             return not any(marker in msg for marker in _FATAL_MARKERS)
@@ -121,17 +126,20 @@ class RetryPolicy:
 
     # -- execution -------------------------------------------------------
 
-    def run(self, fn, on_retry=None):
+    def run(self, fn, on_retry=None, cancel=None):
         """Call ``fn()`` under this policy.
 
         Retries only retryable exceptions, sleeping the backoff between
         attempts; ``on_retry(attempt, exc)`` is invoked before each
         retry (the disks use it to meter retry counts into
-        :class:`~repro.disks.iostats.IoStats`). The final failure is
-        re-raised unchanged.
+        :class:`~repro.disks.iostats.IoStats`). With ``cancel`` (a
+        :class:`~repro.governor.CancelToken`), backoff sleeps are
+        cancellation points. The final failure is re-raised unchanged.
         """
         attempt = 1
         while True:
+            if cancel is not None and cancel.cancelled():
+                raise cancel.exception()
             try:
                 return fn()
             except BaseException as exc:
@@ -139,5 +147,8 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                time.sleep(self.delay_s(attempt))
+                if cancel is not None:
+                    cancel.sleep(self.delay_s(attempt))
+                else:
+                    time.sleep(self.delay_s(attempt))
                 attempt += 1

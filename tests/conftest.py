@@ -10,6 +10,8 @@ matrices at the exact edge of each height restriction.
 from __future__ import annotations
 
 import signal
+import threading
+import time
 from contextlib import contextmanager
 
 import numpy as np
@@ -20,8 +22,30 @@ from repro.membuf import get_pool
 from repro.records.format import RecordFormat
 
 
+def _lingering_pipeline_threads(deadline_s: float = 2.0) -> list[str]:
+    """Names of ``pipeline-*`` worker threads still alive after a grace
+    period. Only the pipeline pools' own threads are checked: watchdog
+    tests legitimately abandon timed-out daemon rank threads, but a
+    read-ahead/write-behind worker outliving its pass means ``close``
+    was skipped on some unwind path (e.g. a cancelled run)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        alive = [
+            t.name for t in threading.enumerate()
+            if t.name.startswith("pipeline-")
+        ]
+        if not alive:
+            return []
+        time.sleep(0.02)
+    return [
+        t.name for t in threading.enumerate()
+        if t.name.startswith("pipeline-")
+    ]
+
+
 def pytest_runtest_teardown(item, nextitem):
-    """Buffer-pool and quarantine leak checks after every test.
+    """Buffer-pool, quarantine, and pipeline-thread leak checks after
+    every test.
 
     Every lease taken from the global :class:`~repro.membuf.BufferPool`
     must be recycled (or forgotten by the crash path) by the time a
@@ -29,9 +53,11 @@ def pytest_runtest_teardown(item, nextitem):
     a buffer on the floor. Likewise every
     :class:`~repro.resilience.quarantine.DiskQuarantine` that declared
     a disk dead must have been released — a leaked quarantine means a
-    degraded run's registry would bleed into the next test. Plain
-    hooks, not autouse fixtures — hypothesis rejects function-scoped
-    fixtures around its tests.
+    degraded run's registry would bleed into the next test — and every
+    pipeline worker thread must have been joined. The pool's byte
+    budget (process-wide state a governor test may have set) is cleared
+    unconditionally. Plain hooks, not autouse fixtures — hypothesis
+    rejects function-scoped fixtures around its tests.
     """
     from repro.resilience import release_all_quarantines
 
@@ -39,15 +65,23 @@ def pytest_runtest_teardown(item, nextitem):
     leaked = pool.outstanding()
     if leaked:
         pool.forget_leases()  # don't cascade the failure into later tests
+        pool.set_budget(None)
         pytest.fail(
             f"{item.nodeid} leaked {leaked} buffer-pool lease(s)",
             pytrace=False,
         )
+    pool.set_budget(None)
     leaked_quarantines = release_all_quarantines()
     if leaked_quarantines:
         pytest.fail(
             f"{item.nodeid} leaked {leaked_quarantines} quarantined-disk "
             f"registr{'y' if leaked_quarantines == 1 else 'ies'}",
+            pytrace=False,
+        )
+    lingering = _lingering_pipeline_threads()
+    if lingering:
+        pytest.fail(
+            f"{item.nodeid} leaked pipeline worker thread(s): {lingering}",
             pytrace=False,
         )
 

@@ -1,0 +1,218 @@
+"""Disk-full handling: fault-spec validation, retry classification, the
+run governor's reclaim/degrade ladder, and the capacity accounting of
+degraded-mode spare materializations.
+
+ENOSPC is deliberately *not* a retryable fault — backing off cannot
+conjure free space — so the path under test here is the
+:class:`~repro.governor.RunGovernor` ladder instead: reclaim dead
+scratch stores and retry the write once, else degrade the run and let
+the error surface structurally, naming the disk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.disks.virtual_disk import VirtualDisk, make_disk_array
+from repro.durability import attach_durability
+from repro.errors import DiskFullError, ResilienceError, SpmdError
+from repro.experiments.breakdown import governance_breakdown_table
+from repro.oocs.api import sort_out_of_core
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+from repro.resilience import FaultPlan, FaultSpec
+from repro.resilience.retry import RetryPolicy
+
+FMT = RecordFormat("u8", 16)
+
+
+def kill_disk(disk: VirtualDisk) -> None:
+    """Destroy a disk's primary data (dot-dirs — parity, spare,
+    checksums — live on 'other media') and declare it dead."""
+    for path in disk.root.iterdir():
+        if path.is_file():
+            path.unlink()
+    disk.quarantine.mark_dead(disk.disk_id)
+
+
+def run_sort(records, depth=0, **kwargs):
+    cluster = ClusterConfig(p=2, mem_per_proc=2**10)
+    return sort_out_of_core(
+        "threaded", records, cluster, FMT, buffer_records=128,
+        pipeline_depth=depth, **kwargs,
+    )
+
+
+class TestFaultSpecValidation:
+    def test_disk_full_must_target_write_side(self):
+        FaultSpec(op="write", kind="disk_full")  # fine
+        FaultSpec(op="any", kind="disk_full")  # fine
+        with pytest.raises(ResilienceError, match="write-side"):
+            FaultSpec(op="read", kind="disk_full")
+        with pytest.raises(ResilienceError, match="write-side"):
+            FaultSpec(op="comm", kind="disk_full")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+
+    def test_any_spec_skips_reads(self):
+        """An op="any" disk_full rule must not fire on reads — reads
+        never allocate space — and the skipped read must not consume
+        the nth-write trigger either."""
+        plan = FaultPlan(
+            [FaultSpec(op="any", kind="disk_full", nth=1, transient=False)]
+        )
+        plan.check("read", disk_id=0)  # does not raise
+        with pytest.raises(DiskFullError):
+            plan.check("write", disk_id=0)
+
+    def test_injected_error_names_the_disk(self):
+        plan = FaultPlan(
+            [FaultSpec(op="write", kind="disk_full", nth=1, transient=False)]
+        )
+        with pytest.raises(DiskFullError, match="on disk 3"):
+            plan.check("write", where="on disk 3", disk_id=3)
+
+
+class TestRetryClassification:
+    def test_disk_full_is_never_retryable(self):
+        assert not RetryPolicy.retryable(DiskFullError("enospc"))
+
+    def test_transient_flag_does_not_override(self):
+        """Even a fault plan that (mis)labels ENOSPC transient must not
+        burn the backoff budget: space does not free itself."""
+        exc = DiskFullError("enospc")
+        exc.transient = True
+        assert not RetryPolicy.retryable(exc)
+
+    def test_real_capacity_overflow_is_not_retried(self, tmp_path):
+        disk = VirtualDisk(tmp_path / "d0", capacity_bytes=64)
+        disk.retry_policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        with pytest.raises(DiskFullError, match="disk 0 full"):
+            disk.write_at("obj", 0, b"x" * 100)
+        assert disk.stats.snapshot()["write_retries"] == 0
+
+
+@pytest.mark.parametrize("depth", [0, 2])
+class TestReclaimLadder:
+    def test_reclaim_completes_byte_identically(self, depth):
+        """ENOSPC in the last pass, where earlier intermediates are dead
+        scratch: the governor reclaims them, retries the write once, and
+        the run completes byte-identically with the ladder metered."""
+        records = generate("uniform", FMT, 512, seed=7)
+        clean = run_sort(records, depth)
+        expected = clean.output.read_all().tobytes()
+        writes_per_pass = [io["writes"] for io in clean.io_per_pass]
+        clean.output.delete()
+
+        nth = sum(writes_per_pass[:-1]) + max(2, writes_per_pass[-1] // 2)
+        plan = FaultPlan(
+            [FaultSpec(op="write", kind="disk_full", nth=nth, count=1,
+                       transient=False)]
+        )
+        res = run_sort(records, depth, fault_plan=plan)
+        assert res.output.read_all().tobytes() == expected
+        gov = res.governor
+        assert gov["disk_full_events"] == 1
+        assert gov["scratch_reclaims"] == 1
+        assert gov["reclaimed_bytes"] > 0
+        assert not gov.get("degraded")
+        rows = {r["metric"]: r for r in governance_breakdown_table(res)}
+        assert rows["disk-full events"]["value"] == 1
+        assert "reclaims" in rows["disk-full events"]["note"]
+        res.output.delete()
+
+    def test_nothing_to_reclaim_fails_naming_the_disk(self, depth):
+        """The very first write fails: no dead scratch exists yet, so
+        the ladder degrades and the error must surface structurally with
+        the failing disk named."""
+        records = generate("uniform", FMT, 512, seed=7)
+        plan = FaultPlan(
+            [FaultSpec(op="write", kind="disk_full", nth=1, count=1,
+                       transient=False, disk=0)]
+        )
+        with pytest.raises(SpmdError) as err:
+            run_sort(records, depth, fault_plan=plan)
+        assert isinstance(err.value.cause, DiskFullError)
+        assert "disk 0" in str(err.value.cause)
+
+
+class TestSpareCapacityAccounting:
+    """Degraded-mode regression: a reconstructed spare copy occupies
+    real capacity, so near-full disks must fail structurally *before*
+    spare bytes land instead of silently exceeding the limit."""
+
+    PAYLOAD = bytes(range(256)) * 4  # 1024 B
+
+    def _array(self, tmp_path, capacity):
+        disks = make_disk_array(tmp_path, 2, capacity_bytes=capacity)
+        quarantine, layer = attach_durability(disks, parity=True)
+        return disks, quarantine
+
+    def test_spare_counts_toward_used_bytes(self, tmp_path):
+        disks, quarantine, = self._array(tmp_path, capacity=None)
+        disks[0].write_at("obj", 0, self.PAYLOAD)
+        assert disks[0].used_bytes() == len(self.PAYLOAD)
+        kill_disk(disks[0])
+        assert disks[0].read_at("obj", 0, len(self.PAYLOAD)) == self.PAYLOAD
+        # catalog entry + its spare materialization both occupy capacity
+        assert disks[0].used_bytes() == 2 * len(self.PAYLOAD)
+        quarantine.release()
+
+    def test_reconstruction_near_capacity_fails_structurally(self, tmp_path):
+        # room for the object but not for a second (spare) copy
+        disks, quarantine = self._array(
+            tmp_path, capacity=len(self.PAYLOAD) + 64
+        )
+        disks[0].write_at("obj", 0, self.PAYLOAD)
+        kill_disk(disks[0])
+        with pytest.raises(DiskFullError, match="cannot materialize spare"):
+            disks[0].read_at("obj", 0, len(self.PAYLOAD))
+        quarantine.release()
+
+    def test_reserve_raises_before_any_spare_bytes_land(self, tmp_path):
+        disks, quarantine = self._array(
+            tmp_path, capacity=len(self.PAYLOAD) + 64
+        )
+        disks[0].write_at("obj", 0, self.PAYLOAD)
+        kill_disk(disks[0])
+        with pytest.raises(DiskFullError):
+            disks[0].read_at("obj", 0, len(self.PAYLOAD))
+        spare = disks[0].root / ".spare" / "obj"
+        assert not spare.exists()
+        assert disks[0].used_bytes() == len(self.PAYLOAD)  # nothing reserved
+        quarantine.release()
+
+    def test_degraded_write_growth_is_capacity_checked(self, tmp_path):
+        # 2 copies fit (reconstruction succeeds) but growing the object
+        # in degraded mode would need a third portion: must raise.
+        b = len(self.PAYLOAD)
+        disks, quarantine = self._array(tmp_path, capacity=2 * b + 64)
+        disks[0].write_at("obj", 0, self.PAYLOAD)
+        kill_disk(disks[0])
+        assert disks[0].read_at("obj", 0, b) == self.PAYLOAD
+        with pytest.raises(DiskFullError, match="disk 0 full"):
+            disks[0].write_at("obj", b, self.PAYLOAD)
+        quarantine.release()
+
+    def test_degraded_write_within_capacity_succeeds(self, tmp_path):
+        b = len(self.PAYLOAD)
+        disks, quarantine = self._array(tmp_path, capacity=4 * b)
+        disks[0].write_at("obj", 0, self.PAYLOAD)
+        kill_disk(disks[0])
+        disks[0].write_at("obj", b, self.PAYLOAD)
+        got = disks[0].read_at("obj", 0, 2 * b)
+        assert got == self.PAYLOAD * 2
+        assert quarantine.snapshot()["spare_writes"] == 1
+        quarantine.release()
+
+    def test_delete_releases_spare_reservation(self, tmp_path):
+        disks, quarantine = self._array(tmp_path, capacity=None)
+        disks[0].write_at("obj", 0, self.PAYLOAD)
+        kill_disk(disks[0])
+        disks[0].read_at("obj", 0, len(self.PAYLOAD))
+        assert disks[0].used_bytes() == 2 * len(self.PAYLOAD)
+        disks[0].delete("obj")
+        assert disks[0].used_bytes() == 0
+        quarantine.release()
