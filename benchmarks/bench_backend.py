@@ -1,0 +1,203 @@
+"""Transport backends head-to-head: thread vs process wall clock.
+
+Runs the same workloads at 4 ranks on both transport backends and
+writes the measured walls to ``BENCH_backend.json`` (the CI artifact):
+
+* **GIL-bound SPMD rounds** (the gate): each rank alternates
+  pure-Python compute — which holds the GIL, so the thread backend
+  serializes it — with a packed ``alltoallv``. This is the regime the
+  process backend exists for: on a multi-core host the rank processes
+  compute concurrently and the process backend must be no slower than
+  the thread backend beyond noise (``NOISE_FACTOR``, shared with
+  ``bench_pipeline``).
+* **End-to-end sort** (reported, not gated): the full out-of-core sort
+  is NumPy-bound, and NumPy's sort/copy kernels release the GIL — the
+  thread backend already runs them in parallel, while the process
+  backend pays fork + shared-memory copy-out on top. The bench records
+  both walls and the byte-identical-output check instead of pretending
+  a process-backend win on a workload that cannot provide one.
+
+On a single-CPU host no backend can win by parallelism, so the strict
+gate is meaningless there; the bench then only enforces a sanity cap
+on the process backend's IPC overhead (``SINGLE_CPU_OVERHEAD_CAP``) so
+a serialization regression still fails CI. ``cpu_count`` lands in the
+artifact so a reader can tell which gate applied.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py --quick
+    PYTHONPATH=src python benchmarks/bench_backend.py  # heavier shapes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.spmd import run_spmd
+from repro.membuf import get_pool
+from repro.oocs.api import sort_out_of_core
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+
+RANKS = 4
+
+#: Allowed slowdown beyond noise — same budget as ``bench_pipeline``.
+NOISE_FACTOR = 1.25
+
+#: Single-CPU fallback: the process backend's IPC overhead on a host
+#: where parallelism cannot pay for it. Measured ≈1.1–1.5x; 2x means
+#: something structural broke (e.g. ranks no longer overlap at all).
+SINGLE_CPU_OVERHEAD_CAP = 2.0
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _gil_bound_rank(comm, rounds: int, work: int):
+    """Pure-Python compute (GIL-holding) alternating with alltoallv."""
+    payload = np.arange(1024, dtype=np.uint64)
+    total = 0
+    for _ in range(rounds):
+        acc = 0
+        for i in range(work):
+            acc = (acc * 1103515245 + 12345 + i) & 0xFFFFFFFF
+        total ^= acc
+        got = comm.alltoallv([payload.copy() for _ in range(comm.size)])
+        total ^= int(got[comm.rank][0])
+    return total
+
+
+def time_gil_bound(backend: str, rounds: int, work: int,
+                   repeats: int) -> tuple[float, list]:
+    walls = []
+    returns = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = run_spmd(RANKS, _gil_bound_rank, rounds, work, backend=backend)
+        walls.append(time.perf_counter() - t0)
+        returns = res.returns
+    return min(walls), returns
+
+
+def time_sort(backend: str, n: int, buf: int, repeats: int) -> tuple[float, bytes]:
+    fmt = RecordFormat("u8", 64)
+    cluster = ClusterConfig(p=RANKS, mem_per_proc=2**17)
+    records = generate("uniform", fmt, n, seed=7)
+    walls = []
+    output = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = sort_out_of_core(
+            "threaded", records, cluster, fmt,
+            buffer_records=buf, pipeline_depth=2, backend=backend,
+        )
+        walls.append(time.perf_counter() - t0)
+        output = result.output.read_global(0, n).tobytes()
+        result.output.delete()
+    return min(walls), output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller shapes (the CI gate)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per backend; best-of-N tames noise")
+    parser.add_argument("--json", default="BENCH_backend.json",
+                        help="summary artifact path")
+    args = parser.parse_args(argv)
+
+    rounds, work = (4, 300_000) if args.quick else (6, 1_000_000)
+    n, buf = (65536, 4096) if args.quick else (262144, 8192)
+    cpus = _cpus()
+    multi_core = cpus >= 2
+    failures: list[str] = []
+
+    walls = {}
+    rank_returns = {}
+    for backend in ("thread", "process"):
+        walls[backend], rank_returns[backend] = time_gil_bound(
+            backend, rounds, work, args.repeats
+        )
+    if rank_returns["thread"] != rank_returns["process"]:
+        failures.append("GIL-bound rank returns differ between backends")
+    ratio = walls["process"] / walls["thread"]
+    bound = NOISE_FACTOR if multi_core else SINGLE_CPU_OVERHEAD_CAP
+    gate = "noise" if multi_core else "single-cpu overhead cap"
+    print(
+        f"gil-bound  ranks={RANKS} rounds={rounds} work={work}: "
+        f"thread {walls['thread'] * 1000:7.1f} ms  "
+        f"process {walls['process'] * 1000:7.1f} ms  "
+        f"ratio {ratio:4.2f}x (gate ≤ {bound:.2f}, {gate}, {cpus} cpu)"
+    )
+    if ratio > bound:
+        failures.append(
+            f"process backend {ratio:.2f}x slower than thread on the "
+            f"GIL-bound workload (allowed {bound:.2f}x with {cpus} cpu)"
+        )
+
+    sort_walls = {}
+    outputs = {}
+    for backend in ("thread", "process"):
+        sort_walls[backend], outputs[backend] = time_sort(
+            backend, n, buf, args.repeats
+        )
+    sort_ratio = sort_walls["process"] / sort_walls["thread"]
+    print(
+        f"sort       ranks={RANKS} n={n} buf={buf}: "
+        f"thread {sort_walls['thread'] * 1000:7.1f} ms  "
+        f"process {sort_walls['process'] * 1000:7.1f} ms  "
+        f"ratio {sort_ratio:4.2f}x (reported; NumPy releases the GIL)"
+    )
+    if outputs["thread"] != outputs["process"]:
+        failures.append("sorted output differs between backends")
+    leaked = get_pool().outstanding()
+    if leaked:
+        failures.append(f"{leaked} pool lease(s) leaked")
+
+    summary = {
+        "ranks": RANKS,
+        "cpu_count": cpus,
+        "gate": gate,
+        "gate_bound": bound,
+        "gil_bound": {
+            "rounds": rounds,
+            "work": work,
+            "thread_s": walls["thread"],
+            "process_s": walls["process"],
+            "process_over_thread": ratio,
+        },
+        "sort": {
+            "n": n,
+            "buffer_records": buf,
+            "thread_s": sort_walls["thread"],
+            "process_s": sort_walls["process"],
+            "process_over_thread": sort_ratio,
+            "outputs_byte_identical": outputs["thread"] == outputs["process"],
+        },
+        "failures": failures,
+    }
+    Path(args.json).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"summary written to {args.json}")
+    if failures:
+        for line in failures:
+            print(f"  FAIL: {line}")
+        return 1
+    print("backend comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.transport import available_backends
 from repro.records.format import RecordFormat
 from repro.records.generators import generate, workload_names
 
@@ -128,6 +129,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         deadline_s=args.deadline,
         mem_budget_bytes=args.mem_budget,
         governor=governor,
+        backend=args.backend,
     )
     io = result.io
     print(
@@ -233,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipeline-depth", type=int, default=2,
         help="read-ahead/write-behind depth per pass (0 = synchronous); "
              "output is byte-identical at every depth",
+    )
+    srt.add_argument(
+        "--backend", choices=available_backends(), default="thread",
+        help="SPMD transport: 'thread' (one thread per rank, shared "
+             "address space) or 'process' (one forked process per rank "
+             "with shared-memory alltoallv buffers — rank compute escapes "
+             "the GIL); output and accounting are identical on both",
     )
     srt.add_argument(
         "--copy-stats", action="store_true",

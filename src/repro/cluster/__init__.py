@@ -27,5 +27,14 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.comm import Comm
 from repro.cluster.spmd import run_spmd
 from repro.cluster.stats import CommStats
+from repro.cluster.transport import Transport, available_backends, get_transport
 
-__all__ = ["ClusterConfig", "Comm", "run_spmd", "CommStats"]
+__all__ = [
+    "ClusterConfig",
+    "Comm",
+    "run_spmd",
+    "CommStats",
+    "Transport",
+    "available_backends",
+    "get_transport",
+]

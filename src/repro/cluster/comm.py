@@ -85,6 +85,18 @@ class Comm:
         """Number of ranks in the world (the cluster's ``P``)."""
         return self._size
 
+    @property
+    def shared_fabric(self) -> bool:
+        """Whether every rank shares one address space (thread backend).
+
+        On a shared fabric, process-global meters (disk ``IoStats``,
+        the buffer pool) already see every rank's work, so rank 0 may
+        read them directly. On a non-shared fabric (process backend)
+        each rank sees only its own counters and must gather —
+        :class:`~repro.oocs.base.PassMarker` switches on exactly this.
+        """
+        return getattr(self._router, "shared_fabric", True)
+
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
@@ -195,6 +207,38 @@ class Comm:
             self._coll_recv(source, tag, "allgather") for source in range(self._size)
         ]
 
+    def gather_oob(self, payload: object, root: int = 0) -> list | None:
+        """Out-of-band gather: like :meth:`gather` but *unmetered*.
+
+        For accounting metadata that must cross ranks without becoming
+        part of the communication accounting itself (e.g. the per-rank
+        disk-I/O deltas :class:`~repro.oocs.base.PassMarker` combines on
+        a non-shared fabric). The paper counts messages carrying
+        records; a counter snapshot is bookkeeping, so metering it would
+        make ``CommStats`` differ between backends that need the gather
+        and backends that do not.
+        """
+        self._check_rank(root)
+        tag = self._coll_tag()
+        self._coll_put_unmetered(root, tag, "gather_oob", payload)
+        if self._rank != root:
+            return None
+        return [
+            self._coll_recv(source, tag, "gather_oob")
+            for source in range(self._size)
+        ]
+
+    def barrier_oob(self) -> None:
+        """Out-of-band barrier: like :meth:`barrier` but *unmetered*
+        (see :meth:`gather_oob`). For synchronizing accounting
+        snapshots without the synchronization itself showing up in the
+        communication accounting."""
+        tag = self._coll_tag()
+        for dest in range(self._size):
+            self._coll_put_unmetered(dest, tag, "barrier_oob", None)
+        for source in range(self._size):
+            self._coll_recv(source, tag, "barrier_oob")
+
     def alltoall(self, payloads: Sequence[object]) -> list:
         """Each rank provides one payload per destination; returns the
         payloads addressed to this rank, indexed by source."""
@@ -253,9 +297,16 @@ class Comm:
 
     def _alltoallv_packed(self, arrays: Sequence[np.ndarray], tag: tuple) -> None:
         """Send side of the contiguous alltoallv fast path: one packed
-        buffer, one offset per destination, views out."""
+        buffer, one offset per destination, views out.
+
+        The buffer comes from the router (``alloc_packed``) so each
+        transport can choose its backing store: plain heap memory on the
+        thread fabric, a ``multiprocessing.shared_memory`` segment on
+        the process fabric. Allocation is unmetered on every backend, so
+        the copy accounting below is byte-identical either way.
+        """
         total = sum(len(a) for a in arrays)
-        packed = np.empty(total, dtype=arrays[0].dtype)
+        packed = self._router.alloc_packed(arrays[0].dtype, total)
         offset = 0
         for dest in range(self._size):
             arr = arrays[dest]

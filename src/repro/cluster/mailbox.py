@@ -14,6 +14,12 @@ enqueued, so a retried send never duplicates a message), an attached
 faults, and every put/successful get stamps per-rank activity times the
 :class:`~repro.resilience.watchdog.RankWatchdog` polls to detect stuck
 ranks.
+
+:class:`MailboxRouter` is the fabric of the *thread* transport; the
+process transport's router (:mod:`repro.cluster.process_backend`)
+shares the send-admission logic through :class:`SendAdmission`, so
+fault injection, retry accounting, and cancellation unwinding behave
+identically on both backends.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ import threading
 import time
 from collections import defaultdict
 
+import numpy as np
+
 from repro.errors import CommError
 
 #: Default seconds a receive waits before declaring deadlock. Rank
@@ -30,28 +38,106 @@ from repro.errors import CommError
 #: virtually always means mismatched sends/receives.
 DEFAULT_TIMEOUT = 120.0
 
+#: Seconds per poll slice in blocked receives (and cancel checks).
+POLL_SLICE = 0.05
 
-class MailboxRouter:
-    """The shared message fabric of one SPMD world."""
+
+class SendAdmission:
+    """Shared send-side admission control for every transport's router.
+
+    The sequence every ``put`` must run before a payload may enter the
+    fabric — closed check, cancellation check, fault injection, retry
+    with backoff — lives here once, so the thread and process routers
+    cannot drift. Subclasses provide the backend-specific state:
+
+    * :meth:`_is_closed` — whether the world has been shut down;
+    * :meth:`_count_retry` — account one retried send (surfaces as
+      ``SpmdResult.comm_retries``).
+
+    ``fault_plan`` / ``retry_policy`` / ``cancel_token`` are plain
+    attributes the SPMD launcher assigns (duck-typed; no
+    :mod:`repro.resilience` or :mod:`repro.governor` import).
+    """
+
+    fault_plan = None
+    retry_policy = None
+    cancel_token = None
+
+    def _is_closed(self) -> bool:
+        raise NotImplementedError
+
+    def _count_retry(self) -> None:
+        raise NotImplementedError
+
+    def _check_cancel(self) -> None:
+        """Raise the attached token's structured exception once it is
+        cancelled, so blocked sends/receives unwind within one poll
+        slice."""
+        token = self.cancel_token
+        if token is not None and token.cancelled():
+            raise token.exception()
+
+    def _check_closed(self) -> None:
+        if self._is_closed():
+            raise CommError("communicator has been shut down")
+
+    def _admit_send(self, source: int, dest: int, tag: object) -> None:
+        """Run the closed/cancel/fault/retry ladder for one send."""
+        plan = self.fault_plan
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            self._check_closed()
+            self._check_cancel()
+            try:
+                if plan is not None:
+                    plan.check("comm", where=f"{source}->{dest} tag={tag!r}")
+                return
+            except CommError as exc:
+                if (
+                    policy is None
+                    or attempt >= policy.max_attempts
+                    or not policy.retryable(exc)
+                ):
+                    raise
+                self._count_retry()
+                token = self.cancel_token
+                if token is not None:
+                    token.sleep(policy.delay_s(attempt))
+                else:
+                    time.sleep(policy.delay_s(attempt))
+                attempt += 1
+
+
+class MailboxRouter(SendAdmission):
+    """The shared message fabric of one SPMD world (thread transport).
+
+    ``shared_fabric`` is True: every rank runs in the same address
+    space, so payloads cross the fabric by reference, stats objects are
+    shared, and rank 0 can see every disk's counters directly.
+    """
+
+    #: All ranks share one address space (see ``Comm.shared_fabric``).
+    shared_fabric = True
 
     def __init__(self, timeout: float = DEFAULT_TIMEOUT) -> None:
         self._timeout = timeout
         self._queues: dict[tuple[int, int, object], queue.SimpleQueue] = {}
         self._lock = threading.Lock()
         self._closed = False
-        self.fault_plan = None
-        self.retry_policy = None
-        self.cancel_token = None
         self.comm_retries = 0
         self._activity: dict[int, float] = {}
 
-    def _check_cancel(self) -> None:
-        """Raise the attached token's structured exception once it is
-        cancelled, so blocked sends/receives unwind within one poll
-        slice (duck-typed; no :mod:`repro.governor` import)."""
-        token = self.cancel_token
-        if token is not None and token.cancelled():
-            raise token.exception()
+    # -- SendAdmission hooks -------------------------------------------
+
+    def _is_closed(self) -> bool:
+        return self._closed
+
+    def _count_retry(self) -> None:
+        with self._lock:
+            self.comm_retries += 1
+
+    # ------------------------------------------------------------------
 
     def _queue_for(self, source: int, dest: int, tag: object) -> queue.SimpleQueue:
         key = (source, dest, tag)
@@ -63,45 +149,46 @@ class MailboxRouter:
 
     # -- watchdog support ----------------------------------------------
 
-    def touch(self, rank: int) -> None:
-        """Stamp ``rank`` as having made progress just now."""
+    def touch(self, rank: int, stamp: float | None = None) -> None:
+        """Stamp ``rank`` as having made progress.
+
+        Stamps are *monotonic by construction*: a stamp older than the
+        one already recorded is discarded, never written. Concurrent
+        deliveries for the same rank (a pipelined pass's reader thread
+        racing its writer, or — on the process backend — stamps
+        propagating through shared memory with latency) may therefore
+        call ``touch`` in any order without ever moving a rank's
+        activity time backwards, which would make the watchdog see
+        phantom silence. ``stamp`` defaults to ``time.monotonic()``
+        taken now; an explicit value must come from the same clock.
+        """
+        now = time.monotonic() if stamp is None else stamp
         with self._lock:
-            self._activity[rank] = time.monotonic()
+            prev = self._activity.get(rank)
+            if prev is None or now > prev:
+                self._activity[rank] = now
 
     def activity(self) -> dict[int, float]:
         """Latest progress stamp (``time.monotonic()``) per rank."""
         with self._lock:
             return dict(self._activity)
 
+    # -- data-plane hooks ----------------------------------------------
+
+    def alloc_packed(self, dtype: np.dtype, total: int) -> np.ndarray:
+        """A fresh buffer for the packed single-buffer ``alltoallv``.
+
+        The thread fabric shares one address space, so plain heap memory
+        works: receivers get disjoint views of this buffer. The process
+        fabric overrides this to hand out a ``shared_memory``-backed
+        array instead (same contract: fresh, contiguous, never pooled).
+        """
+        return np.empty(total, dtype=dtype)
+
     # ------------------------------------------------------------------
 
     def put(self, source: int, dest: int, tag: object, payload: object) -> None:
-        plan = self.fault_plan
-        policy = self.retry_policy
-        attempt = 1
-        while True:
-            if self._closed:
-                raise CommError("communicator has been shut down")
-            self._check_cancel()
-            try:
-                if plan is not None:
-                    plan.check("comm", where=f"{source}->{dest} tag={tag!r}")
-                break
-            except CommError as exc:
-                if (
-                    policy is None
-                    or attempt >= policy.max_attempts
-                    or not policy.retryable(exc)
-                ):
-                    raise
-                with self._lock:
-                    self.comm_retries += 1
-                token = self.cancel_token
-                if token is not None:
-                    token.sleep(policy.delay_s(attempt))
-                else:
-                    time.sleep(policy.delay_s(attempt))
-                attempt += 1
+        self._admit_send(source, dest, tag)
         self._queue_for(source, dest, tag).put(payload)
         self.touch(source)
 
@@ -111,15 +198,13 @@ class MailboxRouter:
         # the full deadlock timeout.
         q = self._queue_for(source, dest, tag)
         waited = 0.0
-        slice_s = 0.05
         while True:
-            if self._closed:
-                raise CommError("communicator has been shut down")
+            self._check_closed()
             self._check_cancel()
             try:
-                payload = q.get(timeout=slice_s)
+                payload = q.get(timeout=POLL_SLICE)
             except queue.Empty:
-                waited += slice_s
+                waited += POLL_SLICE
                 if waited >= self._timeout:
                     raise CommError(
                         f"receive timed out after {self._timeout}s: "

@@ -1,0 +1,668 @@
+"""Multiprocessing SPMD transport: one forked OS process per rank.
+
+The thread transport's ranks overlap only where NumPy releases the GIL;
+everything at the Python level — record packing, pipeline bookkeeping,
+structured-dtype gathers — serializes. This transport forks one process
+per rank so rank-local compute escapes the GIL entirely, while keeping
+every contract of :class:`~repro.cluster.transport.Transport`:
+
+* **Fabric** — one ``multiprocessing.Queue`` inbox per rank; each rank
+  demultiplexes its inbox into local per-``(source, tag)`` FIFOs, so
+  MPI's non-overtaking order per (source, dest, tag) holds exactly as
+  on the thread fabric. Small payloads pickle through the queue.
+* **Packed alltoallv** — ``alloc_packed`` hands
+  :class:`~repro.cluster.comm.Comm` a ``multiprocessing.shared_memory``
+  segment, so the single-buffer pack writes its bytes *once* into
+  memory every rank can map; receivers get a slice descriptor (segment
+  name, dtype, offset, count) instead of a pickle of the data. The
+  receive side materializes its slice with one raw copy and
+  acknowledges, and the creator retires the segment once every slice is
+  acknowledged. The materialization copy is transport-internal — the
+  analogue of a NIC landing bytes in a receive buffer — and therefore
+  unmetered, which keeps ``CommStats``/``CopyStats`` byte-identical to
+  the thread backend (where receivers hold views).
+* **Ownership rule** — a segment belongs to the rank that allocated it.
+  Creators unlink after all acknowledgements (or at rank teardown, or
+  — last resort — the parent unlinks whatever a dying rank reported).
+  Receivers never unlink and never keep a mapping past materialization.
+* **Activity stamps** — a shared ``Array('d', P)`` updated with
+  monotonic-max semantics; the parent-side
+  :class:`~repro.resilience.watchdog.RankWatchdog` polls it through a
+  router facade exactly as it polls the thread router.
+* **Accounting** — every rank snapshots its (fork-copied) disk
+  ``IoStats``, the data-plane ``CopyStats``, and its ``CommStats``
+  around the program and ships the deltas home over a result pipe; the
+  parent merges them into the caller's stats objects, so
+  ``run_spmd_metered`` and the pass programs stay backend-agnostic.
+* **Failures** — a rank's exception is pickled home when it round-trips
+  (so ``SpmdError.cause`` keeps its type across the boundary) and
+  replaced by a :class:`RemoteRankError` surrogate carrying the type
+  name and traceback when it does not. Severity ranking is shared with
+  the thread transport.
+
+Fork (not spawn) start method: rank programs are closures over live
+stores, monkeypatched classes, and armed fault plans — semantics the
+thread backend provides by sharing the address space, and which fork
+preserves by copying it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as _queue
+import time
+import traceback
+from collections import defaultdict, deque
+from multiprocessing import connection, get_context, resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+from repro.cluster.mailbox import DEFAULT_TIMEOUT, POLL_SLICE, SendAdmission
+from repro.cluster.stats import CommStats, stats_from_snapshot
+from repro.cluster.transport import Transport, raise_primary_failure
+from repro.errors import CommError
+from repro.membuf import copy_delta, copy_stats, get_pool
+
+_CTX = get_context("fork")
+
+#: Prefix of every shared-memory segment this transport creates; the
+#: test-suite leak guard scans ``/dev/shm`` for it.
+SHM_PREFIX = "repro-shm"
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Opt a segment out of the resource tracker's cleanup.
+
+    The transport manages segment lifetime explicitly (ack-counted
+    unlink, rank teardown, parent sweep). CPython < 3.13 registers a
+    segment with the tracker on *attach* as well as create (bpo-39959),
+    so every mapping — creator or receiver — must be unregistered, or
+    the first rank to exit would unlink segments its siblings still
+    map and the tracker would print spurious leak warnings."""
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_quiet(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a segment without notifying the resource tracker.
+
+    ``SharedMemory.unlink`` always sends the tracker an UNREGISTER, but
+    every mapping here is already untracked (see :func:`_untrack`), so
+    that message would make the tracker log a spurious ``KeyError``.
+    Missing segments (already unlinked by another path) are ignored."""
+    try:
+        shared_memory._posixshmem.shm_unlink(shm._name)
+    except FileNotFoundError:
+        pass
+    except AttributeError:  # non-POSIX fallback
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class RemoteRankError(RuntimeError):
+    """Surrogate for a rank failure that cannot cross the process
+    boundary (exceptions whose constructors do not round-trip through
+    pickle). Carries the original type name, message, and traceback
+    text in one string."""
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """The exception itself if it pickle-round-trips, else a surrogate."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+        return RemoteRankError(
+            f"rank failed with {type(exc).__name__}: {exc}\n{tb}"
+        )
+
+
+class _ShmSlice:
+    """Wire descriptor of one packed-alltoallv part: where in which
+    segment, owned by which rank."""
+
+    __slots__ = ("segment", "creator", "dtype", "offset", "count")
+
+    def __init__(self, segment, creator, dtype, offset, count):
+        self.segment = segment
+        self.creator = creator
+        self.dtype = dtype
+        self.offset = offset
+        self.count = count
+
+    def __getstate__(self):
+        return (self.segment, self.creator, self.dtype, self.offset, self.count)
+
+    def __setstate__(self, state):
+        self.segment, self.creator, self.dtype, self.offset, self.count = state
+
+
+class _Segment:
+    """Creator-side record of one shared segment: the mapping, its
+    address range (for view detection), and how many remote slices are
+    still unacknowledged."""
+
+    __slots__ = ("shm", "base", "nbytes", "pending")
+
+    def __init__(self, shm, base, nbytes):
+        self.shm = shm
+        self.base = base
+        self.nbytes = nbytes
+        self.pending = 0
+
+
+class _Fabric:
+    """The shared primitives of one process-backed SPMD world, created
+    before the fork so every rank inherits them."""
+
+    def __init__(self, size: int, timeout: float) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.inboxes = [_CTX.Queue() for _ in range(size)]
+        self.acks = [_CTX.Queue() for _ in range(size)]
+        self.closed = _CTX.Event()
+        self.activity = _CTX.Array("d", size)
+        self.retries = _CTX.Value("i", 0)
+
+
+class _ParentRouter:
+    """The parent's facade over the fabric — exactly the two methods
+    the :class:`~repro.resilience.watchdog.RankWatchdog` uses."""
+
+    def __init__(self, fabric: _Fabric) -> None:
+        self._fabric = fabric
+
+    def activity(self) -> dict[int, float]:
+        act = self._fabric.activity
+        with act.get_lock():
+            return {p: act[p] for p in range(self._fabric.size)}
+
+    def close(self) -> None:
+        self._fabric.closed.set()
+
+
+class ProcessRouter(SendAdmission):
+    """One rank's endpoint of the process fabric (lives in the child).
+
+    Implements the same surface :class:`~repro.cluster.comm.Comm` uses
+    on the thread router — ``put``/``get``/``touch``/``activity``/
+    ``close``/``alloc_packed``/``comm_retries`` — over cross-process
+    primitives.
+    """
+
+    shared_fabric = False
+
+    def __init__(self, fabric: _Fabric, rank: int) -> None:
+        self._fabric = fabric
+        self._rank = rank
+        self._timeout = fabric.timeout
+        # Inbox demux: (source, tag) -> FIFO of materialized payloads.
+        self._local: dict[tuple, deque] = defaultdict(deque)
+        self._segments: dict[str, _Segment] = {}
+        self._seq = 0
+
+    # -- SendAdmission hooks -------------------------------------------
+
+    def _is_closed(self) -> bool:
+        return self._fabric.closed.is_set()
+
+    def _count_retry(self) -> None:
+        with self._fabric.retries.get_lock():
+            self._fabric.retries.value += 1
+
+    @property
+    def comm_retries(self) -> int:
+        return self._fabric.retries.value
+
+    # -- watchdog support ----------------------------------------------
+
+    def touch(self, rank: int, stamp: float | None = None) -> None:
+        """Monotonic-max activity stamp in the shared array. Stamps may
+        arrive stale relative to another process's (cross-process store
+        latency), so the max semantics are load-bearing here, not just
+        defensive — see ``MailboxRouter.touch``."""
+        now = time.monotonic() if stamp is None else stamp
+        act = self._fabric.activity
+        with act.get_lock():
+            if now > act[rank]:
+                act[rank] = now
+
+    def activity(self) -> dict[int, float]:
+        act = self._fabric.activity
+        with act.get_lock():
+            return {p: act[p] for p in range(self._fabric.size)}
+
+    def close(self) -> None:
+        self._fabric.closed.set()
+
+    # -- shared-memory packed buffers ----------------------------------
+
+    def alloc_packed(self, dtype: np.dtype, total: int) -> np.ndarray:
+        """A shared-memory-backed buffer for the packed alltoallv.
+
+        By the time the *next* collective allocates, every slice of the
+        previous buffers has been sent, so fully-acknowledged segments
+        are reaped here (close + unlink); the rest retire at teardown.
+        """
+        self._reap()
+        dtype = np.dtype(dtype)
+        if total == 0:
+            return np.empty(0, dtype=dtype)
+        name = f"{SHM_PREFIX}-{os.getpid()}-{self._seq}"
+        self._seq += 1
+        nbytes = total * dtype.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+        _untrack(shm)
+        arr = np.ndarray((total,), dtype=dtype, buffer=shm.buf)
+        self._segments[name] = _Segment(
+            shm, arr.__array_interface__["data"][0], nbytes
+        )
+        return arr
+
+    def _slice_of(self, arr: np.ndarray) -> _ShmSlice | None:
+        """The descriptor of ``arr`` if its memory lives inside a
+        segment this rank created (i.e. it is a packed-alltoallv view)."""
+        if not isinstance(arr, np.ndarray) or not arr.flags["C_CONTIGUOUS"]:
+            return None
+        addr = arr.__array_interface__["data"][0]
+        for name, seg in self._segments.items():
+            if seg.base <= addr and addr + arr.nbytes <= seg.base + seg.nbytes:
+                return _ShmSlice(
+                    name, self._rank, arr.dtype, addr - seg.base, len(arr)
+                )
+        return None
+
+    def _outbound(self, payload: object) -> object:
+        """Swap packed-buffer views for slice descriptors on the way out."""
+        if isinstance(payload, tuple) and len(payload) == 2:
+            op, body = payload
+            if isinstance(body, np.ndarray):
+                desc = self._slice_of(body)
+                if desc is not None:
+                    self._segments[desc.segment].pending += 1
+                    return (op, desc)
+        return payload
+
+    def _materialize(self, desc: _ShmSlice) -> np.ndarray:
+        """Land one slice: raw copy out of the segment, then ack so the
+        creator can retire it. Unmetered by design (see module doc)."""
+        own = self._segments.get(desc.segment)
+        if own is not None:
+            src = np.ndarray(
+                (desc.count,), dtype=desc.dtype, buffer=own.shm.buf,
+                offset=desc.offset,
+            )
+            out = src.copy()
+            del src
+            own.pending -= 1
+            return out
+        shm = shared_memory.SharedMemory(name=desc.segment)
+        _untrack(shm)
+        try:
+            src = np.ndarray(
+                (desc.count,), dtype=desc.dtype, buffer=shm.buf,
+                offset=desc.offset,
+            )
+            out = src.copy()
+            del src
+        finally:
+            shm.close()
+        self._fabric.acks[desc.creator].put(desc.segment)
+        return out
+
+    def _inbound(self, payload: object) -> object:
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and isinstance(payload[1], _ShmSlice)
+        ):
+            return (payload[0], self._materialize(payload[1]))
+        return payload
+
+    def _reap(self, force: bool = False) -> None:
+        """Retire fully-acknowledged segments this rank created."""
+        acks = self._fabric.acks[self._rank]
+        while True:
+            try:
+                name = acks.get_nowait()
+            except _queue.Empty:
+                break
+            seg = self._segments.get(name)
+            if seg is not None:
+                seg.pending -= 1
+        for name in list(self._segments):
+            seg = self._segments[name]
+            if seg.pending <= 0 or force:
+                try:
+                    seg.shm.close()
+                except BufferError:
+                    if not force:
+                        continue  # a view is still alive; try again later
+                _unlink_quiet(seg.shm)
+                del self._segments[name]
+
+    def teardown(self, grace_s: float = 2.0) -> list[str]:
+        """End-of-rank cleanup: wait briefly for outstanding acks, then
+        force-retire everything. Returns the names of segments that
+        could not be unlinked (the parent sweeps them as a last resort)."""
+        deadline = time.monotonic() + grace_s
+        while self._segments and time.monotonic() < deadline:
+            self._reap()
+            if not self._segments:
+                break
+            if all(seg.pending <= 0 for seg in self._segments.values()):
+                continue  # only BufferError holdouts left; retry below
+            time.sleep(0.01)
+        self._reap(force=True)
+        return list(self._segments)
+
+    # -- the fabric proper ---------------------------------------------
+
+    def put(self, source: int, dest: int, tag: object, payload: object) -> None:
+        self._admit_send(source, dest, tag)
+        self._fabric.inboxes[dest].put((source, tag, self._outbound(payload)))
+        self.touch(source)
+
+    def get(self, source: int, dest: int, tag: object) -> object:
+        key = (source, tag)
+        inbox = self._fabric.inboxes[dest]
+        waited = 0.0
+        while True:
+            self._check_closed()
+            self._check_cancel()
+            ready = self._local.get(key)
+            if ready:
+                self.touch(dest)
+                return ready.popleft()
+            try:
+                src, got_tag, payload = inbox.get(timeout=POLL_SLICE)
+            except _queue.Empty:
+                waited += POLL_SLICE
+                if waited >= self._timeout:
+                    raise CommError(
+                        f"receive timed out after {self._timeout}s: "
+                        f"rank {dest} waiting for (source={source}, "
+                        f"tag={tag!r}) — likely mismatched sends/receives "
+                        f"or a collective mismatch"
+                    ) from None
+            else:
+                self._local[(src, got_tag)].append(self._inbound(payload))
+
+    def pending(self) -> dict[tuple, int]:
+        """Locally buffered (demuxed but unconsumed) message counts."""
+        return {
+            key: len(fifo) for key, fifo in self._local.items() if fifo
+        }
+
+
+def _child_main(fabric, rank, program, args, extra, kwargs, hooks, conns, disks):
+    """Rank body in the forked child: run the program, ship results and
+    accounting deltas home, always tear the shared segments down."""
+    fault_plan, retry_policy, cancel = hooks
+    # Only this rank's pipe write end stays open: EOF detection in the
+    # parent needs every other inherited copy closed.
+    own = conns[rank][1]
+    for p, (parent_end, child_end) in enumerate(conns):
+        parent_end.close()
+        if p != rank:
+            child_end.close()
+
+    router = ProcessRouter(fabric, rank)
+    router.fault_plan = fault_plan
+    router.retry_policy = retry_policy
+    router.cancel_token = cancel
+    comm = Comm(rank, fabric.size, router, CommStats(rank=rank))
+
+    pool = get_pool()
+    cstats = copy_stats()
+    cstats.rebase_peak(pool.outstanding())
+    copy_before = cstats.snapshot()
+    io_before = [d.stats.snapshot() for d in (disks or [])]
+
+    message: dict = {"rank": rank}
+    try:
+        value = program(comm, *args, *extra, **kwargs)
+        message["outcome"] = "ok"
+        message["value"] = value
+    except BaseException as exc:  # noqa: BLE001 — must cross processes
+        router.close()  # unblock sibling ranks waiting in receives
+        message["outcome"] = "err"
+        message["error"] = _portable_exception(exc)
+    finally:
+        message["segments"] = router.teardown()
+
+    message["copy"] = copy_delta(copy_before, cstats.snapshot())
+    message["comm"] = comm.stats.snapshot()
+    io_after = [d.stats.snapshot() for d in (disks or [])]
+    message["io"] = [
+        {k: after[k] - before[k] for k in before}
+        for before, after in zip(io_before, io_after)
+    ]
+    try:
+        own.send(message)
+    except Exception as exc:
+        # Usually an unpicklable rank return value; resend without it.
+        message["outcome"] = "err"
+        message["value"] = None
+        message["error"] = RemoteRankError(
+            f"rank {rank} result could not cross the process boundary: {exc}"
+        )
+        try:
+            own.send(message)
+        except Exception:
+            pass
+    own.close()
+    # Deliberately no ``cancel_join_thread`` here: exit must wait for the
+    # queue feeder threads to flush, or a message a sibling is blocked on
+    # could be dropped. On the failure path (undelivered messages filling
+    # a queue pipe) the parent drains the fabric and then escalates to
+    # terminate, so a wedged feeder cannot hang the run.
+
+
+class ProcessTransport(Transport):
+    """One forked OS process per rank; see the module docstring."""
+
+    name = "process"
+
+    def run(
+        self,
+        size,
+        program,
+        *args,
+        rank_args=None,
+        timeout=DEFAULT_TIMEOUT,
+        watchdog_deadline=None,
+        fault_plan=None,
+        retry_policy=None,
+        quarantine=None,
+        cancel=None,
+        disks=None,
+        **kwargs,
+    ):
+        from repro.cluster.spmd import SpmdResult
+        from repro.cluster.transport import ThreadTransport
+
+        if size == 1:
+            # Degenerate world: nothing to parallelize across processes,
+            # and inline execution keeps single-rank debugging trivial —
+            # the same choice the thread transport makes.
+            return ThreadTransport().run(
+                size, program, *args, rank_args=rank_args, timeout=timeout,
+                watchdog_deadline=watchdog_deadline, fault_plan=fault_plan,
+                retry_policy=retry_policy, quarantine=quarantine,
+                cancel=cancel, disks=disks, **kwargs,
+            )
+
+        fabric = _Fabric(size, timeout)
+        now = time.monotonic()
+        for p in range(size):
+            fabric.activity[p] = now  # baseline stamp per rank
+        if cancel is not None:
+            cancel.bind_shared_event(_CTX.Event())
+
+        disks = list(disks) if disks else []
+        conns = [_CTX.Pipe(duplex=False) for _ in range(size)]
+        hooks = (fault_plan, retry_policy, cancel)
+        procs = [
+            _CTX.Process(
+                target=_child_main,
+                args=(
+                    fabric, p, program, args,
+                    rank_args[p] if rank_args is not None else (),
+                    kwargs, hooks, conns, disks,
+                ),
+                name=f"spmd-rank-{p}",
+                daemon=True,
+            )
+            for p in range(size)
+        ]
+        watchdog = None
+        if watchdog_deadline is not None:
+            from repro.resilience.watchdog import RankWatchdog
+
+            watchdog = RankWatchdog(_ParentRouter(fabric), watchdog_deadline)
+
+        messages: list[dict | None] = [None] * size
+        try:
+            for proc in procs:
+                proc.start()
+            for _, child_end in conns:
+                child_end.close()
+            if watchdog is not None:
+                # Start polling only after the forks: forking a process
+                # that already runs threads is the classic deadlock trap.
+                watchdog.start()
+            self._collect(fabric, procs, conns, messages, watchdog)
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+            # Drain before joining: a child exiting with undelivered
+            # messages waits for its queue feeder to flush, which needs
+            # room in the queue pipe.
+            self._drain_fabric(fabric, close=False)
+            self._join_all(procs)
+            self._sweep_segments(messages)
+            self._drain_fabric(fabric, close=True)
+
+        failures: list[tuple[int, BaseException]] = []
+        stats: list[CommStats] = []
+        returns: list = [None] * size
+        meter = copy_stats()
+        for p, msg in enumerate(messages):
+            if msg is None:
+                msg = {
+                    "outcome": "err",
+                    "error": RemoteRankError(
+                        f"rank {p} process died without reporting "
+                        f"(exitcode {procs[p].exitcode})"
+                    ),
+                }
+            if msg["outcome"] == "ok":
+                returns[p] = msg.get("value")
+            else:
+                failures.append((p, msg["error"]))
+            stats.append(stats_from_snapshot(msg.get("comm"), rank=p))
+            if msg.get("copy"):
+                meter.merge_delta(msg["copy"])
+            for disk, delta in zip(disks, msg.get("io", ())):
+                disk.stats.merge_delta(delta)
+
+        if watchdog is not None and watchdog.error is not None:
+            failures.append((watchdog.error.rank, watchdog.error))
+        if failures:
+            raise_primary_failure(failures)
+        result = SpmdResult(
+            returns=returns, stats=stats, comm_retries=fabric.retries.value
+        )
+        if quarantine is not None:
+            snap = quarantine.snapshot()
+            result.degraded_disks = snap["degraded_disks"]
+            result.reconstructed_blocks = snap["reconstructed_blocks"]
+            result.checksum_failures = snap["checksum_failures"]
+        return result
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _collect(fabric, procs, conns, messages, watchdog) -> None:
+        """Receive every rank's result message while the ranks run.
+
+        Results are read *concurrently* with the run (not after join):
+        a rank blocks in ``Pipe.send`` if its message outgrows the pipe
+        buffer, so joining first would deadlock. A watchdog firing (or a
+        rank dying without a message) closes the fabric and the loop
+        gives the survivors a short grace period to fail out.
+        """
+        remaining = {p: conns[p][0] for p in range(len(procs))}
+        grace_until = None
+        while remaining:
+            if grace_until is None and (
+                watchdog is not None and watchdog.fired.is_set()
+            ):
+                grace_until = time.monotonic() + 2.0
+            if grace_until is not None and time.monotonic() > grace_until:
+                break
+            for conn in connection.wait(list(remaining.values()), timeout=0.1):
+                p = next(q for q, c in remaining.items() if c is conn)
+                try:
+                    messages[p] = conn.recv()
+                except (EOFError, OSError):
+                    messages[p] = None  # died without reporting
+                    fabric.closed.set()
+                    if grace_until is None:
+                        grace_until = time.monotonic() + 2.0
+                del remaining[p]
+                if watchdog is not None:
+                    watchdog.rank_done(p)
+
+    @staticmethod
+    def _join_all(procs) -> None:
+        for proc in procs:
+            proc.join(timeout=2.0)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            if proc.is_alive():
+                proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+
+    @staticmethod
+    def _sweep_segments(messages) -> None:
+        """Last-resort unlink of segments a rank reported but could not
+        retire itself (e.g. it was terminated mid-teardown)."""
+        for msg in messages:
+            for name in (msg or {}).get("segments", ()):
+                try:
+                    shm = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+                _untrack(shm)
+                try:
+                    shm.close()
+                except BufferError:
+                    pass
+                _unlink_quiet(shm)
+
+    @staticmethod
+    def _drain_fabric(fabric, close: bool) -> None:
+        """Drop undelivered messages (and finally close the queues) so
+        no feeder thread or pipe buffer outlives the run."""
+        for q in fabric.inboxes + fabric.acks:
+            try:
+                while True:
+                    q.get_nowait()
+            except (_queue.Empty, OSError, EOFError):
+                pass
+            if close:
+                q.close()
+                q.cancel_join_thread()

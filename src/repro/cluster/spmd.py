@@ -1,41 +1,39 @@
-"""SPMD launcher: run ``P`` ranks of a program on threads.
+"""SPMD launcher: run ``P`` ranks of a program on a pluggable transport.
 
 Rank programs have the signature ``program(comm, *args, **kwargs)`` and
-are written exactly like MPI programs (the paper's are C + MPI). Threads
-are the right substrate here: the heavy per-rank work is NumPy sorting
-and copying, which releases the GIL, so ranks genuinely overlap — the
-same overlap structure the paper gets from pthreads.
+are written exactly like MPI programs (the paper's are C + MPI). The
+``backend`` argument selects the substrate through the
+:class:`~repro.cluster.transport.Transport` registry:
+
+* ``"thread"`` (default) — one daemon thread per rank. The heavy
+  per-rank work is NumPy sorting and copying, which releases the GIL,
+  so ranks genuinely overlap — the same overlap structure the paper
+  gets from pthreads.
+* ``"process"`` — one forked OS process per rank with shared-memory
+  collectives, so rank-local Python-level compute escapes the GIL too.
 
 If any rank raises, the world is shut down (unblocking ranks stuck in
 receives) and an :class:`~repro.errors.SpmdError` carrying the first
-failing rank propagates to the caller.
+failing rank propagates to the caller — ranked by the same severity
+order on every backend (see
+:func:`~repro.cluster.transport.failure_severity`).
 
 With ``watchdog_deadline=`` set, a
 :class:`~repro.resilience.watchdog.RankWatchdog` additionally converts
 a *hung* world (every rank silent past the deadline) into the same
 structured ``SpmdError``, whose cause is a
-:class:`~repro.errors.WatchdogTimeout` naming the stuck rank. Rank
-threads are daemons, so a thread wedged in a sleep or hung syscall is
-abandoned after a short grace period instead of pinning the process.
+:class:`~repro.errors.WatchdogTimeout` naming the stuck rank.
 """
 
 from __future__ import annotations
 
-import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.cluster.comm import Comm
-from repro.cluster.mailbox import DEFAULT_TIMEOUT, MailboxRouter
+from repro.cluster.mailbox import DEFAULT_TIMEOUT
 from repro.cluster.stats import CommStats
-from repro.errors import (
-    Cancellation,
-    CommError,
-    ConfigError,
-    SpmdError,
-    WatchdogTimeout,
-)
+from repro.cluster.transport import is_collateral as _is_collateral  # noqa: F401
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -64,12 +62,6 @@ class SpmdResult:
         return sum(s.snapshot()["network_messages"] for s in self.stats)
 
 
-def _is_collateral(exc: BaseException) -> bool:
-    """True for the CommError a rank gets because the world was already
-    shutting down around it — noise, not the root cause."""
-    return isinstance(exc, CommError) and "shut down" in str(exc)
-
-
 def run_spmd(
     size: int,
     program: Callable,
@@ -81,6 +73,8 @@ def run_spmd(
     retry_policy=None,
     quarantine=None,
     cancel=None,
+    backend: str = "thread",
+    disks=None,
     **kwargs,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` ranks.
@@ -103,7 +97,7 @@ def run_spmd(
         with a :class:`~repro.errors.WatchdogTimeout` cause.
     fault_plan:
         Optional :class:`~repro.resilience.faults.FaultPlan` injecting
-        comm faults at the mailbox layer.
+        comm faults at the fabric's send side.
     retry_policy:
         Optional :class:`~repro.resilience.retry.RetryPolicy` retrying
         transient comm faults; retry counts surface as
@@ -114,11 +108,19 @@ def run_spmd(
         the result's durability fields.
     cancel:
         Optional :class:`~repro.governor.CancelToken` attached to the
-        mailbox fabric, so every blocked send/receive is a cancellation
+        fabric, so every blocked send/receive is a cancellation
         point. A run whose primary failure is a
         :class:`~repro.errors.Cancellation` re-raises it *unwrapped*
         (not inside :class:`~repro.errors.SpmdError`): the caller asked
         for the stop and should catch the structured cause directly.
+    backend:
+        Transport to run on: ``"thread"`` (default) or ``"process"``
+        (see :func:`~repro.cluster.transport.get_transport`).
+    disks:
+        The run's :class:`~repro.disks.virtual_disk.VirtualDisk` list.
+        Only needed by non-shared-memory backends, which use it to
+        merge the ranks' per-disk I/O counter deltas back into these
+        (the caller's) stats objects after the join.
 
     Returns
     -------
@@ -126,109 +128,26 @@ def run_spmd(
         ``returns[p]`` is rank ``p``'s return value; ``stats[p]`` its
         communication counters.
     """
+    from repro.cluster.transport import get_transport
+
     if size < 1:
         raise ConfigError(f"SPMD world needs at least 1 rank, got {size}")
     if rank_args is not None and len(rank_args) != size:
         raise ConfigError(
             f"rank_args must have one entry per rank ({size}), got {len(rank_args)}"
         )
-
-    router = MailboxRouter(timeout=timeout)
-    router.fault_plan = fault_plan
-    router.retry_policy = retry_policy
-    router.cancel_token = cancel
-    stats = [CommStats(rank=p) for p in range(size)]
-    comms = [Comm(p, size, router, stats[p]) for p in range(size)]
-    returns: list = [None] * size
-    failures: list[tuple[int, BaseException]] = []
-    failure_lock = threading.Lock()
-
-    watchdog = None
-    if watchdog_deadline is not None:
-        from repro.resilience.watchdog import RankWatchdog
-
-        watchdog = RankWatchdog(router, watchdog_deadline)
-    for p in range(size):
-        router.touch(p)  # baseline stamp: a rank that never speaks is stuck
-
-    def runner(p: int) -> None:
-        extra = rank_args[p] if rank_args is not None else ()
-        try:
-            returns[p] = program(comms[p], *args, *extra, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 — must cross threads
-            with failure_lock:
-                failures.append((p, exc))
-            router.close()  # unblock ranks waiting in receives
-        finally:
-            if watchdog is not None:
-                watchdog.rank_done(p)
-
-    if watchdog is not None:
-        watchdog.start()
-    if size == 1:
-        # Degenerate world: run inline for easier debugging. (The
-        # watchdog still works — closing the router unblocks a stuck
-        # receive on the calling thread.)
-        runner(0)
-    else:
-        threads = [
-            threading.Thread(
-                target=runner, args=(p,), name=f"spmd-rank-{p}", daemon=True
-            )
-            for p in range(size)
-        ]
-        for t in threads:
-            t.start()
-        if watchdog is None:
-            for t in threads:
-                t.join()
-        else:
-            for t in threads:
-                while t.is_alive() and not watchdog.fired.is_set():
-                    t.join(timeout=0.25)
-                if watchdog.fired.is_set():
-                    break
-            if watchdog.fired.is_set():
-                # The router is closed; give ranks a moment to fail out
-                # of their receives, then abandon any thread still wedged
-                # (daemons — they cannot pin the process).
-                grace_until = time.monotonic() + 2.0
-                for t in threads:
-                    t.join(timeout=max(0.0, grace_until - time.monotonic()))
-    if watchdog is not None:
-        watchdog.stop()
-        if watchdog.error is not None:
-            with failure_lock:
-                failures.append((watchdog.error.rank, watchdog.error))
-
-    if failures:
-        # A CommError("shut down") on another rank is collateral damage of
-        # the primary failure; prefer reporting a non-collateral cause,
-        # a genuine rank failure over a requested cancellation (the bug
-        # outranks the stop that raced it), and either over the
-        # watchdog's verdict. Within a class, report the lowest rank.
-        def severity(exc: BaseException) -> int:
-            if isinstance(exc, Cancellation):
-                return 1
-            if isinstance(exc, WatchdogTimeout):
-                return 2
-            if _is_collateral(exc):
-                return 3
-            return 0
-
-        ranked = sorted(failures, key=lambda f: (severity(f[1]), f[0]))
-        rank, cause = ranked[0]
-        if isinstance(cause, Cancellation):
-            # The caller asked for this stop; hand back the structured
-            # cancellation itself, not a rank-failure wrapper.
-            raise cause
-        raise SpmdError(rank, cause) from cause
-    result = SpmdResult(
-        returns=returns, stats=stats, comm_retries=router.comm_retries
+    transport = get_transport(backend)
+    return transport.run(
+        size,
+        program,
+        *args,
+        rank_args=rank_args,
+        timeout=timeout,
+        watchdog_deadline=watchdog_deadline,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        quarantine=quarantine,
+        cancel=cancel,
+        disks=disks,
+        **kwargs,
     )
-    if quarantine is not None:
-        snap = quarantine.snapshot()
-        result.degraded_disks = snap["degraded_disks"]
-        result.reconstructed_blocks = snap["reconstructed_blocks"]
-        result.checksum_failures = snap["checksum_failures"]
-    return result

@@ -84,6 +84,27 @@ class CommStats:
             self.by_op.clear()
 
 
+def stats_from_snapshot(snap: dict | None, rank: int = 0) -> CommStats:
+    """Rebuild a :class:`CommStats` from a :meth:`CommStats.snapshot`.
+
+    Live ``CommStats`` objects hold a lock and cannot cross a process
+    boundary; the process transport ships each rank's snapshot dict home
+    and rehydrates it here, so ``SpmdResult.stats`` has the same shape
+    on every backend. A missing snapshot (a rank that died before
+    reporting) yields zeroed counters.
+    """
+    stats = CommStats(rank=rank)
+    if snap is None:
+        return stats
+    stats.rank = snap.get("rank", rank)
+    stats.messages = snap.get("messages", 0)
+    stats.bytes = snap.get("bytes", 0)
+    stats.network_messages = snap.get("network_messages", 0)
+    stats.network_bytes = snap.get("network_bytes", 0)
+    stats.by_op = Counter(snap.get("by_op", {}))
+    return stats
+
+
 def measured_wall(passes: list) -> dict[str, float]:
     """Aggregate measured per-stage wall time across passes.
 

@@ -101,6 +101,18 @@ class IoStats:
             self.bytes_hashed = 0
             self.checksum_failures = 0
 
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a counter delta from another process into this meter.
+
+        The process transport's ranks operate on fork-copied disk
+        objects; after the join each rank's per-disk snapshot delta is
+        merged back here so the parent's disks carry the run's true
+        totals, exactly as they would on the thread backend where the
+        stats objects are shared."""
+        with self._lock:
+            for key in IO_KEYS:
+                setattr(self, key, getattr(self, key) + delta.get(key, 0))
+
     @staticmethod
     def combine(stats: list["IoStats"]) -> dict:
         """Aggregate totals across disks."""

@@ -5,6 +5,13 @@ callers can catch package failures with a single ``except`` clause while
 still being able to distinguish configuration mistakes (bad matrix
 dimensions, illegal cluster shapes) from runtime faults (disk and
 communication failures).
+
+Errors with multi-parameter constructors define ``__reduce__``: their
+``args`` hold the *formatted message*, not the constructor parameters,
+so default pickling would rebuild them wrongly (or not at all). The
+process transport ships rank failures across address spaces by pickle,
+and an error that cannot round-trip loses its type — and with it the
+caller's ability to catch the structured cause.
 """
 
 from __future__ import annotations
@@ -43,6 +50,9 @@ class ProblemSizeError(ConfigError):
         super().__init__(
             f"N={n} exceeds the {algorithm} problem-size bound of {bound} records"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.n, self.bound, self.algorithm))
 
 
 class CommError(ReproError, RuntimeError):
@@ -98,6 +108,12 @@ class CorruptionError(DiskError):
             + (" [repairable from parity]" if repairable else "")
         )
 
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.disk_id, self.name, self.extents, self.repairable),
+        )
+
 
 class SpmdError(ReproError, RuntimeError):
     """A rank of an SPMD program raised; carries the failing rank.
@@ -111,6 +127,9 @@ class SpmdError(ReproError, RuntimeError):
         self.rank = rank
         self.cause = cause
         super().__init__(f"rank {rank} failed: {cause!r}")
+
+    def __reduce__(self):
+        return (type(self), (self.rank, self.cause))
 
 
 class ResilienceError(ReproError, RuntimeError):
@@ -146,6 +165,9 @@ class WatchdogTimeout(ResilienceError):
             f"(watchdog deadline {deadline_s:.1f}s)"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.rank, self.idle_s, self.deadline_s))
+
 
 class GovernorError(ReproError, RuntimeError):
     """The resource-governance layer refused, stopped, or bounded work
@@ -169,6 +191,9 @@ class CancelledError(Cancellation):
         self.reason = reason
         super().__init__(f"run cancelled: {reason}")
 
+    def __reduce__(self):
+        return (type(self), (self.reason,))
+
 
 class DeadlineExceeded(Cancellation):
     """The run's wall-clock deadline expired before it finished."""
@@ -176,6 +201,9 @@ class DeadlineExceeded(Cancellation):
     def __init__(self, deadline_s: float) -> None:
         self.deadline_s = deadline_s
         super().__init__(f"run exceeded its deadline of {deadline_s:.1f}s")
+
+    def __reduce__(self):
+        return (type(self), (self.deadline_s,))
 
 
 class BudgetExceeded(GovernorError):
@@ -187,10 +215,14 @@ class BudgetExceeded(GovernorError):
         self.requested = requested
         self.budget = budget
         self.held = held
+        self.why = why
         super().__init__(
             f"buffer-pool budget exceeded: need {requested} bytes with "
             f"{held} of {budget} held — {why}"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.requested, self.budget, self.held, self.why))
 
 
 class AdmissionRejected(GovernorError):
@@ -200,9 +232,13 @@ class AdmissionRejected(GovernorError):
 
     def __init__(self, reason: str, detail: str = "") -> None:
         self.reason = reason
+        self.detail = detail
         super().__init__(
             f"job not admitted ({reason})" + (f": {detail}" if detail else "")
         )
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self.detail))
 
 
 class VerificationError(ReproError, AssertionError):

@@ -73,6 +73,7 @@ class CancelToken:
         self._cancel_after_checks = cancel_after_checks
         self._cancel_at_pass = cancel_at_pass
         self._event = threading.Event()
+        self._shared_event = None
         self._lock = threading.Lock()
         self._reason: str | None = None
         self.checks = 0
@@ -85,6 +86,32 @@ class CancelToken:
             if self._reason is None:
                 self._reason = reason
         self._event.set()
+        shared = self._shared_event
+        if shared is not None:
+            shared.set()
+
+    def bind_shared_event(self, event) -> None:
+        """Mirror this token's cancelled state through a cross-process
+        event (``multiprocessing.Event``).
+
+        The process transport binds one before forking: a ``cancel()``
+        in any rank process (or the parent) sets the shared event, and
+        every fork-copy of the token observes it in :meth:`cancelled` —
+        the copies' ``threading.Event`` flags cannot cross address
+        spaces on their own. The cancellation *reason* does not
+        propagate (only the bit does); a copy that learns of the cancel
+        through the shared event reports the generic reason. Deadlines
+        need no mirroring: ``CLOCK_MONOTONIC`` is system-wide, so every
+        fork-copy evaluates the same ``_deadline_at`` lazily.
+        """
+        with self._lock:
+            self._shared_event = event
+        if self._event.is_set():
+            event.set()
+
+    def _shared_set(self) -> bool:
+        shared = self._shared_event
+        return shared is not None and shared.is_set()
 
     def pass_boundary(self, completed_index: int) -> None:
         """Report that pass ``completed_index`` finished (called by the
@@ -103,7 +130,11 @@ class CancelToken:
 
     def cancelled(self) -> bool:
         """True once cancelled or past the deadline."""
-        return self._event.is_set() or self._deadline_passed()
+        return (
+            self._event.is_set()
+            or self._shared_set()
+            or self._deadline_passed()
+        )
 
     def remaining_s(self) -> float | None:
         """Seconds until the deadline (None without one; never < 0)."""
@@ -113,7 +144,7 @@ class CancelToken:
 
     def exception(self) -> Cancellation:
         """The structured exception this token stops a run with."""
-        if self._event.is_set():
+        if self._event.is_set() or self._shared_set():
             with self._lock:
                 return CancelledError(self._reason or "cancelled")
         return DeadlineExceeded(self.deadline_s or 0.0)

@@ -96,6 +96,24 @@ class CopyStats:
         with self._lock:
             self.lease_returns += 1
 
+    def merge_delta(self, delta: dict) -> None:
+        """Fold another process's per-run counter delta into this meter.
+
+        The process transport's ranks each meter their own data plane;
+        after the join their deltas are merged here so the caller's
+        snapshot/delta arithmetic (``run_spmd_metered``) works unchanged.
+        Counters add; ``peak_leases`` — a high-water mark that cannot be
+        summed across address spaces — takes the maximum of the per-rank
+        peaks (a lower bound on the would-be global peak).
+        """
+        with self._lock:
+            for key in COPY_KEYS:
+                if key == "peak_leases":
+                    if delta.get(key, 0) > self.peak_leases:
+                        self.peak_leases = delta[key]
+                else:
+                    setattr(self, key, getattr(self, key) + delta.get(key, 0))
+
     def rebase_peak(self, outstanding: int = 0) -> None:
         """Reset the high-water mark to the current outstanding count so
         a following :func:`copy_delta` reports this run's peak, not the

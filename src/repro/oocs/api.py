@@ -76,6 +76,7 @@ def sort_out_of_core(
     deadline_s: float | None = None,
     mem_budget_bytes: int | None = None,
     governor=None,
+    backend: str = "thread",
 ) -> OocResult:
     """Sort ``records`` out-of-core with the named algorithm
     (``"threaded"``, ``"subblock"``, ``"m"``, or ``"hybrid"``).
@@ -126,6 +127,13 @@ def sort_out_of_core(
     :class:`~repro.errors.AdmissionRejected`. Counters land in
     ``OocResult.governor``.
 
+    ``backend`` selects the SPMD transport: ``"thread"`` (default) or
+    ``"process"`` — one forked OS process per rank with shared-memory
+    alltoallv buffers, so rank-local compute escapes the GIL. Output
+    and accounting are byte-identical across backends; ``parity=True``
+    requires the thread backend (the parity layer's state lives in one
+    address space).
+
     >>> from repro.records import RecordFormat, generate
     >>> from repro.cluster import ClusterConfig
     >>> fmt = RecordFormat("u8", 64)
@@ -172,6 +180,7 @@ def sort_out_of_core(
         parity=parity,
         audit=audit,
         cancel=cancel,
+        backend=backend,
     )
     if governor is None:
         governor = get_job_governor()
@@ -224,6 +233,7 @@ def run_baseline_io(
     resume: bool = False,
     retry_policy=None,
     fault_plan=None,
+    backend: str = "thread",
 ) -> OocResult:
     """Run the §5 I/O-only baseline over ``records``.
 
@@ -242,6 +252,7 @@ def run_baseline_io(
         cancel=cancel,
         retry_policy=retry_policy,
         fault_plan=fault_plan,
+        backend=backend,
     )
     r, s = threaded_shape(job)
     ws = make_workspace(cluster, fmt, records, r, s, workdir=workdir)

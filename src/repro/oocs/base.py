@@ -44,6 +44,7 @@ import numpy as np
 from repro.cluster.comm import Comm
 from repro.cluster.config import ClusterConfig
 from repro.cluster.spmd import run_spmd
+from repro.cluster.transport import available_backends
 from repro.disks.iostats import IoStats
 from repro.disks.matrixfile import ColumnStore, PdmStore
 from repro.disks.virtual_disk import VirtualDisk, make_disk_array
@@ -133,6 +134,13 @@ class OocJob:
         unwinds every rank within one poll interval into a structured
         :class:`~repro.errors.Cancellation` — with the last
         pass-boundary checkpoint still valid for a later resume.
+    backend:
+        SPMD transport running the rank programs: ``"thread"`` (one
+        thread per rank, shared address space) or ``"process"`` (one
+        forked process per rank with shared-memory alltoallv buffers;
+        see :mod:`repro.cluster.process_backend`). Sorted output,
+        pass structure, and the byte-exact I/O/comm/copy accounting
+        are identical on both.
     """
 
     cluster: ClusterConfig
@@ -148,8 +156,20 @@ class OocJob:
     parity: bool = False
     audit: bool = False
     cancel: object = None
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
+        if self.backend not in available_backends():
+            raise ConfigError(
+                f"unknown transport backend {self.backend!r}; expected one "
+                f"of {available_backends()}"
+            )
+        if self.backend == "process" and self.parity:
+            raise ConfigError(
+                "parity=True requires the thread backend: the parity "
+                "layer's stripe state lives in one address space and "
+                "would silently diverge across forked rank processes"
+            )
         if self.pipeline_depth < 0:
             raise ConfigError(
                 f"pipeline_depth must be >= 0, got {self.pipeline_depth}"
@@ -623,9 +643,18 @@ class PassMarker:
     """Synchronized per-pass accounting inside a rank program.
 
     Call :meth:`mark` at every pass boundary: it barriers, snapshots this
-    rank's communication counters and (on rank 0) the aggregate disk I/O,
-    then barriers again so no rank races ahead into the next pass while
-    the snapshot is taken.
+    rank's communication counters and the aggregate disk I/O, then
+    barriers again so no rank races ahead into the next pass while the
+    snapshot is taken.
+
+    The disk I/O marks follow ``comm.shared_fabric``: on a shared
+    fabric (thread backend) rank 0's view of the disk counters already
+    covers every rank's work, so only rank 0 keeps marks; on a
+    non-shared fabric (process backend) each rank's fork-copied disk
+    stats see only that rank's own I/O, so *every* rank keeps local
+    marks and :meth:`io_deltas` sums them across ranks with an
+    out-of-band gather — unmetered, so ``CommStats`` stays identical
+    between backends.
     """
 
     def __init__(self, comm: Comm, disks: list[VirtualDisk]) -> None:
@@ -635,14 +664,23 @@ class PassMarker:
         self.comm = comm
         self.disks = disks
         self.comm_marks = [comm.stats.snapshot()]
+        self._local_io = not comm.shared_fabric
         self.io_marks = (
-            [IoStats.combine([d.stats for d in disks])] if comm.rank == 0 else []
+            [IoStats.combine([d.stats for d in disks])]
+            if comm.rank == 0 or self._local_io
+            else []
         )
+        # Hold every rank here until the baseline snapshots are taken —
+        # on the shared fabric a rank that started pass 1 early would
+        # leak I/O out of the first pass's delta (rank 0's combine sees
+        # every rank's counters). Unmetered, so the baseline comm
+        # snapshot above is what a run without the marker would show.
+        comm.barrier_oob()
 
     def mark(self) -> None:
         self.comm.barrier()
         self.comm_marks.append(self.comm.stats.snapshot())
-        if self.comm.rank == 0:
+        if self.comm.rank == 0 or self._local_io:
             self.io_marks.append(
                 self._iostats.combine([d.stats for d in self.disks])
             )
@@ -662,9 +700,26 @@ class PassMarker:
         )
 
     def io_deltas(self) -> list[dict]:
+        """Per-pass disk-I/O deltas (rank 0; other ranks get ``[]``).
+
+        On a non-shared fabric this is a *collective*: every rank
+        contributes its local per-pass deltas through an unmetered
+        gather and rank 0 sums them elementwise. All ranks call it
+        (the rank program returns it in its result dict), so the
+        collective ordering is symmetric by construction.
+        """
         from repro.disks.iostats import IO_KEYS
 
-        return self._deltas(self.io_marks, IO_KEYS)
+        local = self._deltas(self.io_marks, IO_KEYS)
+        if not self._local_io:
+            return local
+        gathered = self.comm.gather_oob(local, root=0)
+        if gathered is None:
+            return []
+        return [
+            {k: sum(per_rank[i][k] for per_rank in gathered) for k in IO_KEYS}
+            for i in range(len(local))
+        ]
 
 
 def new_pass_trace(name: str, shape: str) -> PassTrace:
@@ -891,6 +946,8 @@ def run_pass_program(
             retry_policy=job.retry_policy,
             quarantine=quarantine,
             cancel=job.cancel,
+            backend=job.backend,
+            disks=disks,
         )
     except BaseException as exc:
         cleanup_failed_run(stores, ckpt)

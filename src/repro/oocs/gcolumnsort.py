@@ -355,7 +355,10 @@ def g_columnsort_ooc(
     }
 
     io_before = IoStats.combine([d.stats for d in disks])
-    res, copy = run_spmd_metered(cluster.p, _rank_program, job, stores, g)
+    res, copy = run_spmd_metered(
+        cluster.p, _rank_program, job, stores, g,
+        backend=job.backend, disks=disks,
+    )
     io_after = IoStats.combine([d.stats for d in disks])
 
     stores["t1"].delete()
@@ -417,6 +420,7 @@ def sort_with_group_size(
     group_size: int | None = None,
     workdir=None,
     verify: bool = True,
+    backend: str = "thread",
 ) -> OocResult:
     """One-call g-columnsort. With ``group_size=None``, picks the
     smallest feasible ``g`` for this ``N`` (the paper's intended
@@ -424,7 +428,8 @@ def sort_with_group_size(
     from repro.oocs.verify import verify_output
 
     job = OocJob(
-        cluster=cluster, fmt=fmt, n=len(records), buffer_records=buffer_records
+        cluster=cluster, fmt=fmt, n=len(records),
+        buffer_records=buffer_records, backend=backend,
     )
     if group_size is None:
         group_size = smallest_group_size(len(records), cluster.p, buffer_records)

@@ -46,11 +46,23 @@ def store_digest(store) -> str:
     Reads through :meth:`~repro.disks.virtual_disk.VirtualDisk.fingerprint`,
     which is unmetered — digesting a store must not perturb the
     byte-exact I/O accounting the integration tests assert.
+
+    Names come from the union of the disk's in-memory size table and a
+    filesystem scan of its root: under the process transport backend,
+    rank 0 digests the store from a forked worker whose size table only
+    tracks its *own* writes, while sibling ranks' files (flushed before
+    the pass-boundary barrier) are only visible on the filesystem. The
+    size table still contributes names a degraded disk serves from
+    parity reconstruction, whose medium files no longer exist.
     """
     parts = []
     prefix = f"{store.name}."
     for disk in store.disks:
-        for name in disk.files():
+        names = set(disk.files())
+        names.update(
+            path.name for path in disk.root.iterdir() if path.is_file()
+        )
+        for name in sorted(names):
             if name.startswith(prefix):
                 parts.append(f"{disk.disk_id}:{name}:{disk.fingerprint(name)}")
     return hexdigest("".join(parts).encode())

@@ -9,6 +9,8 @@ matrices at the exact edge of each height restriction.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -18,8 +20,41 @@ import numpy as np
 import pytest
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.process_backend import SHM_PREFIX
 from repro.membuf import get_pool
 from repro.records.format import RecordFormat
+
+_DEV_SHM = "/dev/shm"
+
+
+def _orphaned_children(deadline_s: float = 2.0) -> list[str]:
+    """Names of multiprocessing children still alive after a grace
+    period. The process transport joins (and, on the failure path,
+    terminates) every rank before ``run`` returns, so any survivor here
+    is a leak — it would hold shared-memory segments open and shadow
+    the next test's fabric."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        alive = multiprocessing.active_children()
+        if not alive:
+            return []
+        time.sleep(0.02)
+    return [p.name for p in multiprocessing.active_children()]
+
+
+def _leaked_shm_segments() -> list[str]:
+    """Transport shared-memory segments left in ``/dev/shm``. Segment
+    names embed the creating rank's pid (``repro-shm-<pid>-<seq>``) and
+    every rank process dies with its run, so anything carrying the
+    prefix after teardown is an unreleased segment — kernel memory that
+    would outlive the whole pytest process."""
+    try:
+        entries = os.listdir(_DEV_SHM)
+    except OSError:  # non-Linux: rely on the teardown paths' own checks
+        return []
+    return sorted(
+        name for name in entries if name.startswith(f"{SHM_PREFIX}-")
+    )
 
 
 def _lingering_pipeline_threads(deadline_s: float = 2.0) -> list[str]:
@@ -82,6 +117,25 @@ def pytest_runtest_teardown(item, nextitem):
     if lingering:
         pytest.fail(
             f"{item.nodeid} leaked pipeline worker thread(s): {lingering}",
+            pytrace=False,
+        )
+    orphans = _orphaned_children()
+    if orphans:
+        for child in multiprocessing.active_children():
+            child.kill()  # don't let the leak shadow later tests
+        pytest.fail(
+            f"{item.nodeid} leaked child process(es): {orphans}",
+            pytrace=False,
+        )
+    leaked_shm = _leaked_shm_segments()
+    if leaked_shm:
+        for name in leaked_shm:  # reap so later tests start clean
+            try:
+                os.unlink(os.path.join(_DEV_SHM, name))
+            except OSError:
+                pass
+        pytest.fail(
+            f"{item.nodeid} leaked shared-memory segment(s): {leaked_shm}",
             pytrace=False,
         )
 

@@ -6,9 +6,11 @@ degenerate shapes, every (r, s, P) interaction.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.cluster import available_backends
 from repro.cluster.spmd import run_spmd
 from repro.columnsort.basic import columnsort
 from repro.columnsort.subblock import subblock_columnsort
@@ -84,58 +86,75 @@ def test_small_key_spaces_below_basic_bound(seed, alphabet):
 
 # -- distributed ------------------------------------------------------------
 
-
-@given(p=st.sampled_from([2, 4]), params=key_params)
-@settings(max_examples=15, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
-def test_distributed_columnsort_matches_local_sort(p, params):
-    n_local = 2 * p * p * 2
-    ks = make_keys(p * n_local, params)
-    recs = FMT.make(ks)
-
-    def prog(comm):
-        local = recs[comm.rank * n_local : (comm.rank + 1) * n_local]
-        return distributed_columnsort(comm, local, FMT)
-
-    got = np.concatenate(run_spmd(p, prog).returns)
-    assert np.array_equal(got["key"], np.sort(ks))
+# The spmd properties run on every transport backend. A process-backend
+# example pays a fork per rank, so its profile draws fewer examples —
+# the thread profile keeps the original breadth, the process profile
+# checks the invariant survives the address-space boundary.
+def _spmd_examples(backend):
+    return 15 if backend == "thread" else 4
 
 
-@given(
-    p=st.sampled_from([1, 2, 4]),
-    splits=st.lists(st.integers(0, 127), min_size=0, max_size=5),
-    params=key_params,
-)
-@settings(max_examples=15, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
-def test_distributed_columnsort_arbitrary_target_ranges(p, splits, params):
+@pytest.mark.parametrize("backend", available_backends())
+def test_distributed_columnsort_matches_local_sort(backend):
+    @given(p=st.sampled_from([2, 4]), params=key_params)
+    @settings(max_examples=_spmd_examples(backend), deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def prop(p, params):
+        n_local = 2 * p * p * 2
+        ks = make_keys(p * n_local, params)
+        recs = FMT.make(ks)
+
+        def prog(comm):
+            local = recs[comm.rank * n_local : (comm.rank + 1) * n_local]
+            return distributed_columnsort(comm, local, FMT)
+
+        got = np.concatenate(run_spmd(p, prog, backend=backend).returns)
+        assert np.array_equal(got["key"], np.sort(ks))
+
+    prop()
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_distributed_columnsort_arbitrary_target_ranges(backend):
     """Any tiling of [0, N') into per-rank slices is honored.
 
     (n_local = 128/P satisfies the height restriction 2P² for every P
     drawn — running below it genuinely mis-sorts, as another test's
     falsifying example once demonstrated.)"""
-    total = 128
-    n_local = total // p
-    assert n_local >= 2 * p * p
-    ks = make_keys(total, params)
-    recs = FMT.make(ks)
-    cuts = sorted(set(splits) | {0, total})
-    pieces = list(zip(cuts, cuts[1:]))
-    ranges = [[] for _ in range(p)]
-    for idx, piece in enumerate(pieces):
-        ranges[idx % p].append(piece)
 
-    def prog(comm):
-        local = recs[comm.rank * n_local : (comm.rank + 1) * n_local]
-        return distributed_columnsort(comm, local, FMT, target_ranges=ranges)
+    @given(
+        p=st.sampled_from([1, 2, 4]),
+        splits=st.lists(st.integers(0, 127), min_size=0, max_size=5),
+        params=key_params,
+    )
+    @settings(max_examples=_spmd_examples(backend), deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def prop(p, splits, params):
+        total = 128
+        n_local = total // p
+        assert n_local >= 2 * p * p
+        ks = make_keys(total, params)
+        recs = FMT.make(ks)
+        cuts = sorted(set(splits) | {0, total})
+        pieces = list(zip(cuts, cuts[1:]))
+        ranges = [[] for _ in range(p)]
+        for idx, piece in enumerate(pieces):
+            ranges[idx % p].append(piece)
 
-    res = run_spmd(p, prog)
-    expected = np.sort(ks)
-    for q, arr in enumerate(res.returns):
-        want = np.concatenate(
-            [expected[a:b] for (a, b) in ranges[q]]
-        ) if ranges[q] else np.empty(0, dtype=np.uint64)
-        assert np.array_equal(arr["key"], want)
+        def prog(comm):
+            local = recs[comm.rank * n_local : (comm.rank + 1) * n_local]
+            return distributed_columnsort(comm, local, FMT,
+                                          target_ranges=ranges)
+
+        res = run_spmd(p, prog, backend=backend)
+        expected = np.sort(ks)
+        for q, arr in enumerate(res.returns):
+            want = np.concatenate(
+                [expected[a:b] for (a, b) in ranges[q]]
+            ) if ranges[q] else np.empty(0, dtype=np.uint64)
+            assert np.array_equal(arr["key"], want)
+
+    prop()
 
 
 # -- full out-of-core -------------------------------------------------------

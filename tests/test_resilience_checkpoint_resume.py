@@ -13,6 +13,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.cluster import available_backends
 from repro.cluster.config import ClusterConfig
 from repro.errors import CheckpointError, ConfigError, SpmdError
 from repro.oocs.api import sort_out_of_core
@@ -64,14 +65,20 @@ def kill_after_pass(kill_at):
     return killing
 
 
+@pytest.mark.parametrize("backend", available_backends())
 @pytest.mark.parametrize("depth", [0, 2])
 @pytest.mark.parametrize("algorithm", sorted(CONFIGS))
 class TestKillAndResume:
+    """Kill/resume honesty must hold on every transport backend: the
+    ``save_pass`` monkeypatch is fork-inherited by worker processes, and
+    ``SimulatedKill`` (a one-arg RuntimeError) pickles across the result
+    pipe with its type intact."""
+
     def test_resume_is_byte_identical_at_every_boundary(
-        self, algorithm, depth, tmp_path
+        self, algorithm, depth, backend, tmp_path
     ):
         recs = records_for(algorithm)
-        baseline = run_sort(algorithm, recs, depth)
+        baseline = run_sort(algorithm, recs, depth, backend=backend)
         expected = baseline.output_records().tobytes()
         total = CONFIGS[algorithm][3]
 
@@ -82,7 +89,7 @@ class TestKillAndResume:
                 mp.setattr(CheckpointStore, "save_pass", kill_after_pass(kill_at))
                 with pytest.raises(SpmdError) as err:
                     run_sort(
-                        algorithm, recs, depth,
+                        algorithm, recs, depth, backend=backend,
                         workdir=workdir, checkpoint_dir=ckdir,
                     )
             assert isinstance(err.value.cause, SimulatedKill)
@@ -90,7 +97,7 @@ class TestKillAndResume:
             assert len(sorted(ckdir.glob("pass_*.json"))) == kill_at
 
             resumed = run_sort(
-                algorithm, recs, depth,
+                algorithm, recs, depth, backend=backend,
                 workdir=workdir, checkpoint_dir=ckdir, resume=True,
             )
             assert resumed.output_records().tobytes() == expected, (
@@ -103,7 +110,7 @@ class TestKillAndResume:
             assert list(ckdir.glob("pass_*.json")) == []
 
     def test_scratch_of_checkpointed_pass_survives_the_kill(
-        self, algorithm, depth, tmp_path
+        self, algorithm, depth, backend, tmp_path
     ):
         """Failure cleanup must keep the store the manifest points at —
         deleting it would make every resume a digest mismatch."""
@@ -114,7 +121,7 @@ class TestKillAndResume:
             mp.setattr(CheckpointStore, "save_pass", kill_after_pass(1))
             with pytest.raises(SpmdError):
                 run_sort(
-                    algorithm, recs, depth,
+                    algorithm, recs, depth, backend=backend,
                     workdir=workdir, checkpoint_dir=ckdir,
                 )
         manifest = json.loads(next(iter(ckdir.glob("pass_*.json"))).read_text())
