@@ -16,6 +16,13 @@ writes the measured walls to ``BENCH_backend.json`` (the CI artifact):
   backend pays fork + shared-memory copy-out on top. The bench records
   both walls and the byte-identical-output check instead of pretending
   a process-backend win on a workload that cannot provide one.
+* **Arena steady state** (gated): a dedicated process-backend run of
+  many identical collectives meters the shared-memory arena. After a
+  warm-up allowance (a few slabs per rank) every ``alloc_packed`` must
+  be a freelist pop: zero steady-state segment creates, hit rate
+  ≥ ``ARENA_MIN_HIT_RATE``. A failure here means the recycling
+  protocol regressed and every collective is back to paying
+  ``shm_open``/``mmap``/``unlink``.
 
 On a single-CPU host no backend can win by parallelism, so the strict
 gate is meaningless there; the bench then only enforces a sanity cap
@@ -42,7 +49,7 @@ import numpy as np
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.spmd import run_spmd
-from repro.membuf import get_pool
+from repro.membuf import copy_delta, copy_stats, get_pool
 from repro.oocs.api import sort_out_of_core
 from repro.records.format import RecordFormat
 from repro.records.generators import generate
@@ -56,6 +63,16 @@ NOISE_FACTOR = 1.25
 #: where parallelism cannot pay for it. Measured ≈1.1–1.5x; 2x means
 #: something structural broke (e.g. ranks no longer overlap at all).
 SINGLE_CPU_OVERHEAD_CAP = 2.0
+
+#: Slabs per rank the arena may create before steady state: one per
+#: size class the workload touches, plus slack for acks still in
+#: flight when a class comes around again (acks are drained at the
+#: *next* alloc, so early rounds outrun them — measured ≈3–3.5 per
+#: rank on a single-CPU host; the count plateaus, it does not grow).
+ARENA_WARMUP_SLABS_PER_RANK = 4
+
+#: Steady-state floor for slab reuse on the arena metering run.
+ARENA_MIN_HIT_RATE = 0.90
 
 
 def _cpus() -> int:
@@ -107,6 +124,35 @@ def time_sort(backend: str, n: int, buf: int, repeats: int) -> tuple[float, byte
         output = result.output.read_global(0, n).tobytes()
         result.output.delete()
     return min(walls), output
+
+
+def _arena_rank(comm, rounds: int):
+    """Many identical packed collectives — the steady-state regime the
+    arena's free lists exist for."""
+    payload = np.arange(1024, dtype=np.uint64)
+    for _ in range(rounds):
+        comm.alltoallv([payload for _ in range(comm.size)])
+    return True
+
+
+def measure_arena(rounds: int) -> dict:
+    """A dedicated process-backend run, metered through the global
+    CopyStats delta (rank deltas are merged home by the transport)."""
+    before = copy_stats().snapshot()
+    run_spmd(RANKS, _arena_rank, rounds, backend="process")
+    delta = copy_delta(before, copy_stats().snapshot())
+    leases = delta["arena_hits"] + delta["arena_misses"]
+    warmup = ARENA_WARMUP_SLABS_PER_RANK * RANKS
+    return {
+        "rounds": rounds,
+        "arena_hits": delta["arena_hits"],
+        "arena_misses": delta["arena_misses"],
+        "attach_count": delta["attach_count"],
+        "bytes_landed_zero_extra_copy": delta["bytes_landed_zero_extra_copy"],
+        "hit_rate": delta["arena_hits"] / leases if leases else 0.0,
+        "warmup_allowance": warmup,
+        "steady_state_creates": max(0, delta["arena_misses"] - warmup),
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -163,6 +209,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     if outputs["thread"] != outputs["process"]:
         failures.append("sorted output differs between backends")
+
+    arena = measure_arena(rounds=80 if args.quick else 160)
+    print(
+        f"arena      ranks={RANKS} rounds={arena['rounds']}: "
+        f"{arena['arena_hits']} hits / {arena['arena_misses']} creates  "
+        f"hit rate {100 * arena['hit_rate']:5.1f}% "
+        f"(gate ≥ {100 * ARENA_MIN_HIT_RATE:.0f}%)  "
+        f"steady-state creates {arena['steady_state_creates']} (gate = 0)"
+    )
+    if arena["steady_state_creates"] > 0:
+        failures.append(
+            f"{arena['steady_state_creates']} segment create(s) past the "
+            f"warm-up allowance ({arena['warmup_allowance']}) — arena slabs "
+            f"are not recycling"
+        )
+    if arena["hit_rate"] < ARENA_MIN_HIT_RATE:
+        failures.append(
+            f"arena hit rate {arena['hit_rate']:.2f} below the "
+            f"{ARENA_MIN_HIT_RATE:.2f} floor"
+        )
+
     leaked = get_pool().outstanding()
     if leaked:
         failures.append(f"{leaked} pool lease(s) leaked")
@@ -187,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
             "process_over_thread": sort_ratio,
             "outputs_byte_identical": outputs["thread"] == outputs["process"],
         },
+        "arena": arena,
         "failures": failures,
     }
     Path(args.json).write_text(json.dumps(summary, indent=2, sort_keys=True))

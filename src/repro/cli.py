@@ -84,6 +84,16 @@ def _print_copy_stats(result) -> None:
         f"{copy.get('pool_misses', 0)} misses, "
         f"peak {copy.get('peak_leases', 0)} leases outstanding"
     )
+    arena_ops = copy.get("arena_hits", 0) + copy.get("arena_misses", 0)
+    if arena_ops:
+        print(
+            f"  arena: {copy.get('arena_hits', 0)} slab reuses / "
+            f"{copy.get('arena_misses', 0)} creates "
+            f"({100 * copy.get('arena_hits', 0) / arena_ops:.1f}% hit), "
+            f"{copy.get('attach_count', 0)} attaches, "
+            f"{copy.get('bytes_landed_zero_extra_copy', 0):,} B landed "
+            f"zero-extra-copy"
+        )
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
@@ -246,7 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     srt.add_argument(
         "--copy-stats", action="store_true",
         help="print data-plane copy accounting (bytes copied vs zero-copy, "
-             "buffer-pool hit rate, peak leases)",
+             "buffer-pool hit rate, peak leases; on the process backend "
+             "also the shared-memory arena's slab hit rate, attaches, and "
+             "bytes landed without an extra copy)",
     )
     srt.add_argument(
         "--group-size", "-g", type=int, default=None,

@@ -33,7 +33,7 @@ from repro.errors import CommError
 from repro.membuf import copy_stats, get_pool, legacy_copies
 
 
-def _isolate(payload: object) -> object:
+def _isolate(payload: object, fabric_isolates: bool = False) -> object:
     """Copy array payloads entering the fabric (no shared memory between
     simulated nodes). Non-array payloads are control-plane metadata and
     are passed through; senders must not mutate them after sending.
@@ -41,16 +41,25 @@ def _isolate(payload: object) -> object:
     On the pooled path the copy lands in an *untracked* pool buffer
     (``grab`` — ownership transfers to the receiver, which may keep it
     indefinitely); the bytes duplicated are metered either way.
+
+    ``fabric_isolates=True`` (a router advertising ``isolating_fabric``,
+    e.g. the process backend's eager-pickling queues) means the fabric
+    itself captures the payload bytes inside ``put`` — a second copy
+    here would be pure overhead, so only the *meter* fires: the copy
+    semantically happens (MPI copy-on-send holds, and the byte meters
+    stay identical across backends), the fabric just provides it.
     """
     if isinstance(payload, np.ndarray):
         copy_stats().record_copy(payload.nbytes)
+        if fabric_isolates:
+            return payload
         if payload.ndim == 1 and payload.size and not legacy_copies():
             buf = get_pool().grab(payload.dtype, payload.shape[0])
             np.copyto(buf, payload)
             return buf
         return payload.copy()
     if isinstance(payload, (list, tuple)):
-        return type(payload)(_isolate(x) for x in payload)
+        return type(payload)(_isolate(x, fabric_isolates) for x in payload)
     return payload
 
 
@@ -69,6 +78,9 @@ class Comm:
         self._router = router
         self.stats = stats if stats is not None else CommStats(rank=rank)
         self._epoch = 0
+        # True when the router captures payload bytes inside put()
+        # (process backend's eager pickle); _isolate then only meters.
+        self._fabric_isolates = getattr(router, "isolating_fabric", False)
 
     @property
     def rank(self) -> int:
@@ -105,7 +117,10 @@ class Comm:
         """Send ``payload`` to ``dest``. Never blocks (buffered)."""
         self._check_rank(dest)
         self.stats.record_send(dest, payload, "send")
-        self._router.put(self._rank, dest, ("p2p", tag), _isolate(payload))
+        self._router.put(
+            self._rank, dest, ("p2p", tag),
+            _isolate(payload, self._fabric_isolates),
+        )
 
     def recv(self, source: int, tag: int = 0) -> object:
         """Receive the next message from ``source`` on ``tag``."""
@@ -132,7 +147,10 @@ class Comm:
 
     def _coll_send(self, dest: int, tag: tuple, op: str, payload: object) -> None:
         self.stats.record_send(dest, payload, op)
-        self._router.put(self._rank, dest, tag, (op, _isolate(payload)))
+        self._router.put(
+            self._rank, dest, tag,
+            (op, _isolate(payload, self._fabric_isolates)),
+        )
 
     def _coll_put_unmetered(self, dest: int, tag: tuple, op: str, payload) -> None:
         """Deliver without counting as a message (empty alltoallv slots)."""
@@ -405,7 +423,7 @@ class _SubComm(Comm):
         self.stats.record_send(top_dest, payload, "send")
         self._router.put(
             self._my_top, top_dest, ("sub-p2p", self._group_id, tag),
-            _isolate(payload),
+            _isolate(payload, self._fabric_isolates),
         )
 
     def recv(self, source: int, tag: int = 0) -> object:
@@ -421,7 +439,10 @@ class _SubComm(Comm):
     def _coll_send(self, dest: int, tag: tuple, op: str, payload: object) -> None:
         top_dest = self._top_of(dest)
         self.stats.record_send(top_dest, payload, op)
-        self._router.put(self._my_top, top_dest, tag, (op, _isolate(payload)))
+        self._router.put(
+            self._my_top, top_dest, tag,
+            (op, _isolate(payload, self._fabric_isolates)),
+        )
 
     def _coll_put_unmetered(self, dest: int, tag: tuple, op: str, payload) -> None:
         self._router.put(self._my_top, self._top_of(dest), tag, (op, payload))

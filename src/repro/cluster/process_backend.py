@@ -12,19 +12,35 @@ every contract of :class:`~repro.cluster.transport.Transport`:
   on the thread fabric. Small payloads pickle through the queue.
 * **Packed alltoallv** — ``alloc_packed`` hands
   :class:`~repro.cluster.comm.Comm` a ``multiprocessing.shared_memory``
-  segment, so the single-buffer pack writes its bytes *once* into
-  memory every rank can map; receivers get a slice descriptor (segment
-  name, dtype, offset, count) instead of a pickle of the data. The
-  receive side materializes its slice with one raw copy and
-  acknowledges, and the creator retires the segment once every slice is
-  acknowledged. The materialization copy is transport-internal — the
-  analogue of a NIC landing bytes in a receive buffer — and therefore
-  unmetered, which keeps ``CommStats``/``CopyStats`` byte-identical to
-  the thread backend (where receivers hold views).
-* **Ownership rule** — a segment belongs to the rank that allocated it.
-  Creators unlink after all acknowledgements (or at rank teardown, or
-  — last resort — the parent unlinks whatever a dying rank reported).
-  Receivers never unlink and never keep a mapping past materialization.
+  slab leased from a persistent per-rank
+  :class:`~repro.cluster.arena.ShmArena`, so the single-buffer pack
+  writes its bytes *once* into memory every rank can map; receivers get
+  a slice descriptor (segment name, dtype, offset, count) instead of a
+  pickle of the data. The receive side lands its slice with one raw
+  copy — into a pool-served buffer when it can
+  (``bytes_landed_zero_extra_copy``) — and acknowledges; the creator
+  *recycles* the slab into the arena's free list once every slice is
+  acknowledged, so steady-state collectives create and unlink zero
+  segments. Receivers attach to each segment once and cache the mapping
+  for the run (:class:`~repro.cluster.arena.AttachCache`). The landing
+  copy is transport-internal — the analogue of a NIC landing bytes in a
+  receive buffer — and therefore unmetered, which keeps
+  ``CommStats``/``CopyStats`` byte meters identical to the thread
+  backend (where receivers hold views). ``REPRO_SHM_ARENA=0`` restores
+  the one-segment-per-collective lifecycle for A/B runs.
+* **Ownership rule** — a slab belongs to the rank that allocated it.
+  Creators recycle on full acknowledgement and unlink at rank teardown
+  (or — last resort — the parent unlinks whatever a dying rank
+  reported, falling back to a pid-keyed ``/dev/shm`` scan for ranks
+  that died without reporting). Receivers never unlink; cached
+  receiver mappings are closed at rank teardown.
+* **Isolating fabric** — queue payloads are pickled *eagerly* in
+  ``put`` (not in the queue's feeder thread), so by the time a send
+  returns, the sender may freely mutate its buffer: the fabric itself
+  provides MPI's isolation guarantee. ``Comm`` sees this via
+  ``isolating_fabric`` and skips ``_isolate``'s physical copy while
+  still metering it, keeping ``CopyStats`` byte meters equal to the
+  thread backend's.
 * **Activity stamps** — a shared ``Array('d', P)`` updated with
   monotonic-max semantics; the parent-side
   :class:`~repro.resilience.watchdog.RankWatchdog` polls it through a
@@ -54,55 +70,36 @@ import queue as _queue
 import time
 import traceback
 from collections import defaultdict, deque
-from multiprocessing import connection, get_context, resource_tracker, shared_memory
+from multiprocessing import connection, get_context, shared_memory
 
 import numpy as np
 
+from repro.cluster.arena import (
+    SHM_PREFIX,
+    AttachCache,
+    ShmArena,
+    arena_enabled,
+    unlink_by_name,
+    untrack,
+)
 from repro.cluster.comm import Comm
 from repro.cluster.mailbox import DEFAULT_TIMEOUT, POLL_SLICE, SendAdmission
 from repro.cluster.stats import CommStats, stats_from_snapshot
 from repro.cluster.transport import Transport, raise_primary_failure
 from repro.errors import CommError
-from repro.membuf import copy_delta, copy_stats, get_pool
+from repro.membuf import copy_delta, copy_stats, get_pool, legacy_copies
+
+__all__ = ["ProcessTransport", "ProcessRouter", "RemoteRankError", "SHM_PREFIX"]
 
 _CTX = get_context("fork")
 
-#: Prefix of every shared-memory segment this transport creates; the
-#: test-suite leak guard scans ``/dev/shm`` for it.
-SHM_PREFIX = "repro-shm"
-
-
-def _untrack(shm: shared_memory.SharedMemory) -> None:
-    """Opt a segment out of the resource tracker's cleanup.
-
-    The transport manages segment lifetime explicitly (ack-counted
-    unlink, rank teardown, parent sweep). CPython < 3.13 registers a
-    segment with the tracker on *attach* as well as create (bpo-39959),
-    so every mapping — creator or receiver — must be unregistered, or
-    the first rank to exit would unlink segments its siblings still
-    map and the tracker would print spurious leak warnings."""
-    try:
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
-        pass
-
-
-def _unlink_quiet(shm: shared_memory.SharedMemory) -> None:
-    """Unlink a segment without notifying the resource tracker.
-
-    ``SharedMemory.unlink`` always sends the tracker an UNREGISTER, but
-    every mapping here is already untracked (see :func:`_untrack`), so
-    that message would make the tracker log a spurious ``KeyError``.
-    Missing segments (already unlinked by another path) are ignored."""
-    try:
-        shared_memory._posixshmem.shm_unlink(shm._name)
-    except FileNotFoundError:
-        pass
-    except AttributeError:  # non-POSIX fallback
-        try:
-            shm.unlink()
-        except FileNotFoundError:
-            pass
+#: Seconds between writes of a rank's *live* activity stamp into the
+#: lock-guarded shared array. Every put/get calls ``touch``; stamping
+#: each one would take the cross-process lock on every message, so live
+#: stamps are batched to at most one write per interval. Half the
+#: receive poll slice keeps the visible stamp at most 25 ms stale —
+#: far inside any watchdog deadline's detection granularity.
+STAMP_BATCH_S = POLL_SLICE / 2
 
 
 class RemoteRankError(RuntimeError):
@@ -142,20 +139,6 @@ class _ShmSlice:
 
     def __setstate__(self, state):
         self.segment, self.creator, self.dtype, self.offset, self.count = state
-
-
-class _Segment:
-    """Creator-side record of one shared segment: the mapping, its
-    address range (for view detection), and how many remote slices are
-    still unacknowledged."""
-
-    __slots__ = ("shm", "base", "nbytes", "pending")
-
-    def __init__(self, shm, base, nbytes):
-        self.shm = shm
-        self.base = base
-        self.nbytes = nbytes
-        self.pending = 0
 
 
 class _Fabric:
@@ -199,14 +182,22 @@ class ProcessRouter(SendAdmission):
 
     shared_fabric = False
 
+    #: Payloads are pickled eagerly in :meth:`put` (not by the queue's
+    #: feeder thread), so the fabric itself isolates senders from their
+    #: buffers — ``Comm._isolate`` meters but skips its physical copy.
+    isolating_fabric = True
+
     def __init__(self, fabric: _Fabric, rank: int) -> None:
         self._fabric = fabric
         self._rank = rank
         self._timeout = fabric.timeout
         # Inbox demux: (source, tag) -> FIFO of materialized payloads.
         self._local: dict[tuple, deque] = defaultdict(deque)
-        self._segments: dict[str, _Segment] = {}
-        self._seq = 0
+        self._arena = ShmArena()
+        self._attached = AttachCache()
+        # Live-stamp batching state (see STAMP_BATCH_S / touch).
+        self._stamp_written: dict[int, float] = {}
+        self.stamp_writes = 0
 
     # -- SendAdmission hooks -------------------------------------------
 
@@ -227,10 +218,27 @@ class ProcessRouter(SendAdmission):
         """Monotonic-max activity stamp in the shared array. Stamps may
         arrive stale relative to another process's (cross-process store
         latency), so the max semantics are load-bearing here, not just
-        defensive — see ``MailboxRouter.touch``."""
-        now = time.monotonic() if stamp is None else stamp
+        defensive — see ``MailboxRouter.touch``.
+
+        *Live* stamps (``stamp is None`` — the per-op put/get path) are
+        batched: at most one shared-array write per
+        :data:`STAMP_BATCH_S`, because taking the cross-process lock on
+        every message measurably serializes the fabric. The visible
+        stamp is then at most ``STAMP_BATCH_S`` older than the rank's
+        true last activity, which only *advances* the moment the
+        watchdog would see silence begin — detection latency is
+        unchanged. Explicit stamps (tests, replayed clocks) always
+        write."""
+        if stamp is None:
+            now = time.monotonic()
+            if now - self._stamp_written.get(rank, 0.0) < STAMP_BATCH_S:
+                return
+            self._stamp_written[rank] = now
+        else:
+            now = stamp
         act = self._fabric.activity
         with act.get_lock():
+            self.stamp_writes += 1
             if now > act[rank]:
                 act[rank] = now
 
@@ -245,39 +253,38 @@ class ProcessRouter(SendAdmission):
     # -- shared-memory packed buffers ----------------------------------
 
     def alloc_packed(self, dtype: np.dtype, total: int) -> np.ndarray:
-        """A shared-memory-backed buffer for the packed alltoallv.
+        """A shared-memory-backed buffer for the packed alltoallv,
+        leased from the persistent arena.
 
-        By the time the *next* collective allocates, every slice of the
-        previous buffers has been sent, so fully-acknowledged segments
-        are reaped here (close + unlink); the rest retire at teardown.
-        """
+        Pending acknowledgements are drained first, so slabs whose
+        slices have all landed return to the free list before the lease
+        — at steady state (every shape seen once, acks keeping up) this
+        is a freelist pop: no segment create, no unlink. With
+        ``REPRO_SHM_ARENA=0`` every lease creates a one-shot segment
+        that unlinks on full ack — the PR 6 lifecycle, kept as the A/B
+        escape hatch."""
         self._reap()
         dtype = np.dtype(dtype)
         if total == 0:
             return np.empty(0, dtype=dtype)
-        name = f"{SHM_PREFIX}-{os.getpid()}-{self._seq}"
-        self._seq += 1
-        nbytes = total * dtype.itemsize
-        shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
-        _untrack(shm)
-        arr = np.ndarray((total,), dtype=dtype, buffer=shm.buf)
-        self._segments[name] = _Segment(
-            shm, arr.__array_interface__["data"][0], nbytes
+        slab = self._arena.lease(
+            total * dtype.itemsize, recycle=arena_enabled()
         )
-        return arr
+        return np.ndarray((total,), dtype=dtype, buffer=slab.shm.buf)
 
     def _slice_of(self, arr: np.ndarray) -> _ShmSlice | None:
-        """The descriptor of ``arr`` if its memory lives inside a
-        segment this rank created (i.e. it is a packed-alltoallv view)."""
+        """The descriptor of ``arr`` if its memory lives inside a slab
+        this rank created (i.e. it is a packed-alltoallv view) —
+        O(log #slabs) via the arena's base-address index."""
         if not isinstance(arr, np.ndarray) or not arr.flags["C_CONTIGUOUS"]:
             return None
         addr = arr.__array_interface__["data"][0]
-        for name, seg in self._segments.items():
-            if seg.base <= addr and addr + arr.nbytes <= seg.base + seg.nbytes:
-                return _ShmSlice(
-                    name, self._rank, arr.dtype, addr - seg.base, len(arr)
-                )
-        return None
+        slab = self._arena.locate(addr, arr.nbytes)
+        if slab is None:
+            return None
+        return _ShmSlice(
+            slab.name, self._rank, arr.dtype, addr - slab.base, len(arr)
+        )
 
     def _outbound(self, payload: object) -> object:
         """Swap packed-buffer views for slice descriptors on the way out."""
@@ -286,34 +293,75 @@ class ProcessRouter(SendAdmission):
             if isinstance(body, np.ndarray):
                 desc = self._slice_of(body)
                 if desc is not None:
-                    self._segments[desc.segment].pending += 1
+                    self._arena.pin(desc.segment)
                     return (op, desc)
         return payload
 
-    def _materialize(self, desc: _ShmSlice) -> np.ndarray:
-        """Land one slice: raw copy out of the segment, then ack so the
-        creator can retire it. Unmetered by design (see module doc)."""
-        own = self._segments.get(desc.segment)
+    def _land(self, src: np.ndarray) -> np.ndarray:
+        """Copy one inbound slice out of shared memory — into a
+        pool-served landing buffer when possible, so the receiver's
+        private copy is also the buffer the pass body can recycle
+        (``bytes_landed_zero_extra_copy``). Unmetered as a data-plane
+        copy by design (see module doc)."""
+        if src.size and not legacy_copies():
+            out = get_pool().land(src.dtype, src.shape[0])
+            np.copyto(out, src)
+            copy_stats().record_landed(src.nbytes)
+            return out
+        return src.copy()
+
+    def _copy_out(self, src: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """One landing copy out of shared memory: into the caller's
+        ``out=`` array when given (zero extra copies downstream), else
+        into a pool-served landing buffer (:meth:`_land`)."""
+        if out is not None:
+            np.copyto(out, src)
+            copy_stats().record_landed(src.nbytes)
+            return out
+        return self._land(src)
+
+    def _materialize(
+        self, desc: _ShmSlice, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Land one slice, then ack so the creator can recycle the slab.
+
+        With ``out=`` (a writable array of exactly ``desc.count``
+        records) the bytes land directly in it; otherwise a pool-served
+        landing buffer is used. Receiver mappings come from the attach
+        cache in arena mode — one attach per ``(creator, segment)`` per
+        run — and are attach/copy/close in one-shot mode, where the
+        segment is about to be unlinked and must not stay pinned."""
+        own = self._arena.owned(desc.segment)
         if own is not None:
             src = np.ndarray(
                 (desc.count,), dtype=desc.dtype, buffer=own.shm.buf,
                 offset=desc.offset,
             )
-            out = src.copy()
+            out = self._copy_out(src, out)
             del src
-            own.pending -= 1
+            self._arena.ack(desc.segment)
             return out
-        shm = shared_memory.SharedMemory(name=desc.segment)
-        _untrack(shm)
-        try:
+        if arena_enabled():
+            shm = self._attached.get(desc.segment)
             src = np.ndarray(
                 (desc.count,), dtype=desc.dtype, buffer=shm.buf,
                 offset=desc.offset,
             )
-            out = src.copy()
+            out = self._copy_out(src, out)
             del src
-        finally:
-            shm.close()
+        else:
+            shm = shared_memory.SharedMemory(name=desc.segment)
+            untrack(shm)
+            copy_stats().record_attach()
+            try:
+                src = np.ndarray(
+                    (desc.count,), dtype=desc.dtype, buffer=shm.buf,
+                    offset=desc.offset,
+                )
+                out = self._copy_out(src, out)
+                del src
+            finally:
+                shm.close()
         self._fabric.acks[desc.creator].put(desc.segment)
         return out
 
@@ -327,47 +375,45 @@ class ProcessRouter(SendAdmission):
         return payload
 
     def _reap(self, force: bool = False) -> None:
-        """Retire fully-acknowledged segments this rank created."""
+        """Apply queued acknowledgements: fully-acked slabs recycle to
+        the arena free list (or unlink, in one-shot mode)."""
         acks = self._fabric.acks[self._rank]
         while True:
             try:
                 name = acks.get_nowait()
             except _queue.Empty:
                 break
-            seg = self._segments.get(name)
-            if seg is not None:
-                seg.pending -= 1
-        for name in list(self._segments):
-            seg = self._segments[name]
-            if seg.pending <= 0 or force:
-                try:
-                    seg.shm.close()
-                except BufferError:
-                    if not force:
-                        continue  # a view is still alive; try again later
-                _unlink_quiet(seg.shm)
-                del self._segments[name]
+            self._arena.ack(name)
+        if force:
+            self._arena.unlink_all()
 
     def teardown(self, grace_s: float = 2.0) -> list[str]:
         """End-of-rank cleanup: wait briefly for outstanding acks, then
-        force-retire everything. Returns the names of segments that
-        could not be unlinked (the parent sweeps them as a last resort)."""
+        unlink every arena slab and close cached receiver mappings.
+        Returns the names of segments that could not be unlinked (the
+        parent sweeps them as a last resort)."""
         deadline = time.monotonic() + grace_s
-        while self._segments and time.monotonic() < deadline:
+        while not self._arena.all_acked() and time.monotonic() < deadline:
             self._reap()
-            if not self._segments:
-                break
-            if all(seg.pending <= 0 for seg in self._segments.values()):
-                continue  # only BufferError holdouts left; retry below
             time.sleep(0.01)
-        self._reap(force=True)
-        return list(self._segments)
+        self._reap()
+        failures = self._arena.unlink_all()
+        self._attached.close_all()
+        return failures
 
     # -- the fabric proper ---------------------------------------------
 
     def put(self, source: int, dest: int, tag: object, payload: object) -> None:
         self._admit_send(source, dest, tag)
-        self._fabric.inboxes[dest].put((source, tag, self._outbound(payload)))
+        # Eager pickle: serializing here (instead of in the queue's
+        # feeder thread) is what licenses ``isolating_fabric`` — once
+        # put returns, the payload bytes are captured and the sender
+        # may reuse its buffer. The feeder then only memcpys bytes.
+        wire = pickle.dumps(
+            (source, tag, self._outbound(payload)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._fabric.inboxes[dest].put(wire)
         self.touch(source)
 
     def get(self, source: int, dest: int, tag: object) -> object:
@@ -382,7 +428,7 @@ class ProcessRouter(SendAdmission):
                 self.touch(dest)
                 return ready.popleft()
             try:
-                src, got_tag, payload = inbox.get(timeout=POLL_SLICE)
+                wire = inbox.get(timeout=POLL_SLICE)
             except _queue.Empty:
                 waited += POLL_SLICE
                 if waited >= self._timeout:
@@ -393,6 +439,7 @@ class ProcessRouter(SendAdmission):
                         f"or a collective mismatch"
                     ) from None
             else:
+                src, got_tag, payload = pickle.loads(wire)
                 self._local[(src, got_tag)].append(self._inbound(payload))
 
     def pending(self) -> dict[tuple, int]:
@@ -548,7 +595,7 @@ class ProcessTransport(Transport):
             # room in the queue pipe.
             self._drain_fabric(fabric, close=False)
             self._join_all(procs)
-            self._sweep_segments(messages)
+            self._sweep_segments(messages, procs)
             self._drain_fabric(fabric, close=True)
 
         failures: list[tuple[int, BaseException]] = []
@@ -637,21 +684,39 @@ class ProcessTransport(Transport):
                 proc.join(timeout=1.0)
 
     @staticmethod
-    def _sweep_segments(messages) -> None:
-        """Last-resort unlink of segments a rank reported but could not
-        retire itself (e.g. it was terminated mid-teardown)."""
+    def _sweep_segments(messages, procs=()) -> None:
+        """Last-resort unlink of arena slabs a dead rank left behind.
+
+        Two sources: names a rank *reported* but could not retire itself
+        (terminated mid-teardown), and — for ranks that died without
+        reporting at all (``os._exit``, SIGKILL) — a ``/dev/shm`` scan
+        keyed by the dead child's pid, since every slab name is
+        ``repro-shm-<creator pid>-<seq>``. Unlinks go by bare name
+        (:func:`~repro.cluster.arena.unlink_by_name`): mapping a segment
+        just to unlink it would fault its pages back in."""
         for msg in messages:
             for name in (msg or {}).get("segments", ()):
-                try:
-                    shm = shared_memory.SharedMemory(name=name)
-                except FileNotFoundError:
-                    continue
-                _untrack(shm)
-                try:
-                    shm.close()
-                except BufferError:
-                    pass
-                _unlink_quiet(shm)
+                unlink_by_name(name)
+        silent_pids = {
+            str(proc.pid)
+            for proc, msg in zip(procs, messages)
+            if msg is None and proc.pid is not None
+        }
+        if not silent_pids:
+            return
+        try:
+            entries = os.listdir("/dev/shm")
+        except OSError:
+            return  # non-POSIX shm layout; reported names were handled
+        for entry in entries:
+            parts = entry.split("-")
+            # repro-shm-<pid>-<seq>
+            if (
+                entry.startswith(SHM_PREFIX + "-")
+                and len(parts) == 4
+                and parts[2] in silent_pids
+            ):
+                unlink_by_name(entry)
 
     @staticmethod
     def _drain_fabric(fabric, close: bool) -> None:

@@ -127,6 +127,31 @@ def copy_breakdown_table(result) -> list[dict]:
             "note": "high-water outstanding buffers",
         },
     ]
+    # Shared-memory arena rows only when the transport produced arena
+    # activity (process backend); the thread backend has no segments and
+    # all-zero rows there would read as a disabled feature, not a fact.
+    arena_ops = copy.get("arena_hits", 0) + copy.get("arena_misses", 0)
+    if arena_ops:
+        rows.extend(
+            [
+                {
+                    "metric": "arena hit rate %",
+                    "value": round(100 * copy.get("arena_hits", 0) / arena_ops, 1),
+                    "note": f"{copy.get('arena_hits', 0)} slab reuses / "
+                    f"{copy.get('arena_misses', 0)} segment creates",
+                },
+                {
+                    "metric": "segment attaches",
+                    "value": copy.get("attach_count", 0),
+                    "note": "first-time receiver mappings",
+                },
+                {
+                    "metric": "bytes landed zero-extra-copy",
+                    "value": copy.get("bytes_landed_zero_extra_copy", 0),
+                    "note": "inbound slices landed in pooled buffers",
+                },
+            ]
+        )
     for row in rows:
         row["algorithm"] = result.algorithm
     return rows

@@ -8,6 +8,7 @@ rules at each seam and the ``REPRO_LEGACY_COPIES`` escape hatch.
 """
 
 from repro.membuf.copystats import (
+    ARENA_KEYS,
     COPY_KEYS,
     CopyStats,
     copy_delta,
@@ -17,6 +18,7 @@ from repro.membuf.copystats import (
 from repro.membuf.pool import MAX_FREE_PER_KEY, BufferPool, get_pool
 
 __all__ = [
+    "ARENA_KEYS",
     "BufferPool",
     "CopyStats",
     "COPY_KEYS",

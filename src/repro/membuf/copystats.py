@@ -18,7 +18,22 @@ the disks:
   reuse vs. fresh allocation;
 * ``leases`` / ``lease_returns`` / ``peak_leases`` — tracked buffer
   leases issued, returned, and the high-water mark of concurrently
-  outstanding leases.
+  outstanding leases;
+* ``arena_hits`` / ``arena_misses`` — shared-memory arena slab reuse
+  vs. segment creation on the process transport
+  (:mod:`repro.cluster.arena`); zero on the thread backend, which has
+  no segments at all;
+* ``attach_count`` — first-time receiver-side segment attaches (cache
+  misses of the :class:`~repro.cluster.arena.AttachCache`; with the
+  arena disabled, every landed slice);
+* ``bytes_landed_zero_extra_copy`` — inbound shared-memory slices that
+  landed directly in a pool-served buffer with a single transport
+  ``memcpy`` and no further private copy.
+
+The arena/attach/landing counters are *transport-operational* metrics:
+they describe work the transport did (or avoided), not data-plane
+bytes, so they are legitimately zero on the thread backend while the
+byte meters above stay identical across backends.
 
 One global instance (:func:`copy_stats`) serves the whole process; runs
 meter themselves with the same snapshot/delta pattern the disk and comm
@@ -44,6 +59,19 @@ COPY_KEYS = (
     "leases",
     "lease_returns",
     "peak_leases",
+    "arena_hits",
+    "arena_misses",
+    "attach_count",
+    "bytes_landed_zero_extra_copy",
+)
+
+#: The subset of :data:`COPY_KEYS` describing the shared-memory arena
+#: (transport-operational; zero on the thread backend by construction).
+ARENA_KEYS = (
+    "arena_hits",
+    "arena_misses",
+    "attach_count",
+    "bytes_landed_zero_extra_copy",
 )
 
 
@@ -67,6 +95,10 @@ class CopyStats:
     leases: int = 0
     lease_returns: int = 0
     peak_leases: int = 0
+    arena_hits: int = 0
+    arena_misses: int = 0
+    attach_count: int = 0
+    bytes_landed_zero_extra_copy: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_copy(self, nbytes: int) -> None:
@@ -95,6 +127,27 @@ class CopyStats:
     def record_return(self) -> None:
         with self._lock:
             self.lease_returns += 1
+
+    def record_arena(self, hit: bool) -> None:
+        """One ``alloc_packed`` served by the shared-memory arena:
+        ``hit`` = slab reused, else a segment was created."""
+        with self._lock:
+            if hit:
+                self.arena_hits += 1
+            else:
+                self.arena_misses += 1
+
+    def record_attach(self) -> None:
+        """One first-time receiver-side segment attach (mapping)."""
+        with self._lock:
+            self.attach_count += 1
+
+    def record_landed(self, nbytes: int) -> None:
+        """``nbytes`` of an inbound slice landed directly in a
+        pool-served buffer — one transport memcpy, no extra private
+        copy downstream."""
+        with self._lock:
+            self.bytes_landed_zero_extra_copy += int(nbytes)
 
     def merge_delta(self, delta: dict) -> None:
         """Fold another process's per-run counter delta into this meter.

@@ -149,7 +149,9 @@ class BufferPool:
 
     # -- acquisition ---------------------------------------------------
 
-    def _take(self, dtype: np.dtype, rows: int, track: bool) -> np.ndarray:
+    def _take(
+        self, dtype: np.dtype, rows: int, track: bool, meter: bool = True
+    ) -> np.ndarray:
         dtype = np.dtype(dtype)
         rows = int(rows)
         key = (dtype, rows)
@@ -163,13 +165,15 @@ class BufferPool:
                 else:
                     # Ownership leaves the pool with the array.
                     self._bump_held(-arr.nbytes)
-                copy_stats().record_pool(hit=True)
+                if meter:
+                    copy_stats().record_pool(hit=True)
                 return arr
             if track:
                 if self._budget is not None:
                     self._wait_for_budget(need)
                 self._bump_held(need)
-        copy_stats().record_pool(hit=False)
+        if meter:
+            copy_stats().record_pool(hit=False)
         arr = np.empty(rows, dtype=dtype)
         if track:
             with self._cv:
@@ -190,6 +194,21 @@ class BufferPool:
         """Acquire an untracked array — ownership transfers to the
         caller; the pool forgets it unless it is later recycled."""
         return self._take(dtype, rows, track=False)
+
+    def land(self, dtype: np.dtype, rows: int) -> np.ndarray:
+        """Acquire an untracked *landing* buffer for a transport's
+        inbound bytes — :meth:`grab` semantics, but unmetered.
+
+        Landing a wire payload is the analogue of a NIC writing into a
+        receive ring: transport-internal, invisible to the data plane's
+        copy accounting. The thread backend hands receivers views (no
+        pool op at all), so metering the process backend's landing
+        acquisitions as pool hits/misses would make the operational
+        counters diverge across backends for the same program. The
+        buffer still comes from (and, once recycled, returns to) the
+        ordinary freelists, so steady-state landings stop churning the
+        allocator."""
+        return self._take(dtype, rows, track=False, meter=False)
 
     # -- release -------------------------------------------------------
 

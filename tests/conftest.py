@@ -47,7 +47,10 @@ def _leaked_shm_segments() -> list[str]:
     names embed the creating rank's pid (``repro-shm-<pid>-<seq>``) and
     every rank process dies with its run, so anything carrying the
     prefix after teardown is an unreleased segment — kernel memory that
-    would outlive the whole pytest process."""
+    would outlive the whole pytest process. This covers the persistent
+    :class:`~repro.cluster.arena.ShmArena` slabs too (same prefix):
+    recycled or not, every slab must be unlinked by rank teardown or
+    the parent's crash sweep before the run returns."""
     try:
         entries = os.listdir(_DEV_SHM)
     except OSError:  # non-Linux: rely on the teardown paths' own checks

@@ -260,6 +260,32 @@ class TestAccounting:
         assert res.returns[0] == [("payload", p) for p in range(3)]
         assert res.returns[1] is None and res.returns[2] is None
 
+    def test_arena_counters_operational_byte_meters_identical(self, backend):
+        """The arena/attach/landing counters are transport-operational:
+        zero on the thread backend (no segments exist), nonzero on the
+        process backend for packed alltoallv traffic — while the
+        data-plane *byte* meters stay identical across backends."""
+        del backend  # cross-backend by construction
+        from repro.membuf import ARENA_KEYS, copy_delta, copy_stats
+
+        deltas = {}
+        for b in BACKENDS:
+            before = copy_stats().snapshot()
+            run_spmd(3, _mixed_traffic_program, backend=b)
+            deltas[b] = copy_delta(before, copy_stats().snapshot())
+        reference = deltas[BACKENDS[0]]
+        for b in BACKENDS[1:]:
+            for key in ("bytes_copied", "bytes_zero_copy"):
+                assert deltas[b][key] == reference[key], (
+                    f"{key} diverged on {b}"
+                )
+        assert all(deltas["thread"][k] == 0 for k in ARENA_KEYS)
+        if "process" in BACKENDS:
+            proc = deltas["process"]
+            assert proc["arena_misses"] > 0
+            assert proc["attach_count"] > 0
+            assert proc["bytes_landed_zero_extra_copy"] > 0
+
     def test_no_leases_leak_across_a_run(self, backend):
         pool = get_pool()
         baseline = pool.outstanding()
