@@ -14,23 +14,40 @@ whole contract:
   faults mid-pass and never recovers: with parity the run completes
   *byte-identically in degraded mode* with visible reconstruction
   counters; without parity it fails structurally within the deadline;
+* **rank-kill plans** (``--rank-kill``) — a rank really dies mid-pass
+  (``SIGKILL`` / ``os._exit`` on the process backend, an uncatchable
+  injected error on the thread backend): a run armed with a
+  :class:`~repro.resilience.RestartPolicy` must complete
+  byte-identically *within the same call*, with visible
+  ``SupervisorStats`` and zero leaked children or ``/dev/shm``
+  segments;
 * **always** — no leaked buffer-pool leases, threads, or quarantines.
+
+A machine-readable summary of every case lands in ``--json`` (default
+``BENCH_chaos.json``) for the CI artifact.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_chaos.py --quick
     PYTHONPATH=src python benchmarks/bench_chaos.py --quick --parity
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick --rank-kill
     PYTHONPATH=src python benchmarks/bench_chaos.py --seeds 8  # wider sweep
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import multiprocessing
+import os
 import sys
+import tempfile
 import threading
 import time
+from pathlib import Path
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.transport import available_backends
 from repro.errors import SpmdError
 from repro.membuf import get_pool
 from repro.oocs.api import sort_out_of_core
@@ -39,6 +56,7 @@ from repro.records.generators import generate
 from repro.resilience import (
     FaultPlan,
     FaultSpec,
+    RestartPolicy,
     RetryPolicy,
     active_quarantines,
     release_all_quarantines,
@@ -65,14 +83,14 @@ def records_for(algorithm: str, seed: int):
 
 
 def run_sort(algorithm: str, records, depth: int, plan=None, policy=None,
-             parity=False):
+             parity=False, **kwargs):
     p, buf, _, _ = CONFIGS[algorithm]
     cluster = ClusterConfig(p=p, mem_per_proc=2**12)
     return sort_out_of_core(
         algorithm, records, cluster, FMT, buffer_records=buf,
         pipeline_depth=depth, fault_plan=plan, retry_policy=policy,
         watchdog_deadline=WATCHDOG_DEADLINE if plan is not None else None,
-        parity=parity,
+        parity=parity, **kwargs,
     )
 
 
@@ -248,6 +266,103 @@ def disk_kill_case(algorithm: str, depth: int, seed: int) -> list[str]:
     return failures
 
 
+def stale_segments() -> list[str]:
+    """``/dev/shm`` entries left behind by this process's cohorts."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return [e for e in entries if e.startswith("repro-shm-")]
+
+
+def rank_kill_case(algorithm: str, depth: int, seed: int, backend: str,
+                   fractions: tuple, rows: list) -> list[str]:
+    """One algorithm surviving a rank that really dies, at kill points
+    spread across the run's passes, on one backend.
+
+    A calibration run counts the run's disk writes; each fraction of
+    that total is one kill point (early pass, mid run, last pass), so
+    the matrix exercises both mid-pass deaths and deaths right around
+    pass boundaries. Every supervised run must come back byte-identical
+    with ``restarts >= 1`` and leak nothing — no children, no shm
+    segments, no leases, no quarantines.
+    """
+    failures: list[str] = []
+    p = CONFIGS[algorithm][0]
+    records = records_for(algorithm, seed)
+    expected = run_sort(algorithm, records, depth).output_records().tobytes()
+
+    counting = FaultPlan()
+    run_sort(algorithm, records, depth, plan=counting).output.delete()
+    writes = counting.snapshot()["ops"]["write"]
+
+    kinds = ("rank_kill", "rank_exit")
+    for i, frac in enumerate(fractions):
+        kind = kinds[i % len(kinds)]
+        tag = (f"{algorithm} depth={depth} seed={seed} [{backend} {kind} "
+               f"@{frac:.0%}]")
+        nth = max(1, int(writes * frac))
+        if backend == "process":
+            nth = max(1, nth // p)  # forked ranks count their own ops
+        plan = FaultPlan([FaultSpec(op="write", nth=nth, count=1, kind=kind)],
+                         seed=seed)
+        policy = RestartPolicy(max_restarts=3, base_backoff_s=0.001,
+                               seed=seed)
+        before = set(threading.enumerate())
+        with tempfile.TemporaryDirectory() as tmp:
+            t0 = time.perf_counter()
+            try:
+                res = run_sort(
+                    algorithm, records, depth, plan=plan, backend=backend,
+                    restart_policy=policy,
+                    workdir=Path(tmp) / "w", checkpoint_dir=Path(tmp) / "ck",
+                )
+            except SpmdError as exc:
+                failures.append(f"{tag}: supervised run died: {exc.cause!r}")
+                continue
+            wall = time.perf_counter() - t0
+            sup = res.supervisor
+            kills = plan.snapshot()["rank_kills"]
+            if res.output_records().tobytes() != expected:
+                failures.append(f"{tag}: recovered output diverged")
+            if not sup.get("restarts"):
+                failures.append(f"{tag}: no restart recorded ({sup})")
+            if not kills:
+                failures.append(f"{tag}: kill spec never fired")
+            res.output.delete()
+            res.release_durability()
+        if multiprocessing.active_children():
+            failures.append(f"{tag}: leaked child processes")
+        if stale_segments():
+            failures.append(f"{tag}: leaked shm segments: {stale_segments()}")
+        if active_quarantines():
+            release_all_quarantines()
+            failures.append(f"{tag}: leaked quarantines")
+        if get_pool().outstanding():
+            get_pool().forget_leases()
+            failures.append(f"{tag}: leaked pool leases")
+        leftover = wind_down_threads(before)
+        if leftover:
+            failures.append(f"{tag}: leaked threads: {leftover}")
+        resumed = (sup["attempts"][0].get("resumed_from_pass")
+                   if sup.get("attempts") else None)
+        rows.append({
+            "algorithm": algorithm, "depth": depth, "seed": seed,
+            "backend": backend, "kind": kind, "kill_write": nth,
+            "restarts": sup.get("restarts", 0), "rank_kills": kills,
+            "resumed_from_pass": resumed,
+            "restart_wall_s": round(sup.get("restart_wall", 0.0), 4),
+            "wall_ms": round(wall * 1000, 1),
+            "ok": not any(f.startswith(tag) for f in failures),
+        })
+        print(
+            f"  {tag}: ok — killed at write {nth}, "
+            f"{sup.get('restarts')} restart(s), resumed from pass {resumed}, "
+            f"{wall * 1000:.0f} ms"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -260,18 +375,46 @@ def main(argv: list[str] | None = None) -> int:
                         help="also run the permanent disk-kill scenarios "
                              "(degraded-mode with parity, structural "
                              "failure without)")
+    parser.add_argument("--rank-kill", action="store_true",
+                        help="also run the supervised rank-kill matrix "
+                             "(a rank really dies; the run must recover "
+                             "in-call) on every available backend")
+    parser.add_argument("--json", default="BENCH_chaos.json",
+                        help="write the machine-readable summary here")
     args = parser.parse_args(argv)
 
     seeds = [args.seed_base] if args.quick else [
         args.seed_base + i for i in range(args.seeds)
     ]
+    # quick mode trims the rank-kill matrix to one threaded-layout and
+    # one striped-layout algorithm and two kill points; full mode kills
+    # at an early-, mid-, and late-run write on every algorithm
+    kill_algorithms = ("threaded", "m") if args.quick else tuple(CONFIGS)
+    fractions = (0.35, 0.85) if args.quick else (0.15, 0.5, 0.85)
     failures: list[str] = []
+    kill_rows: list[dict] = []
     for algorithm in CONFIGS:
         for depth in (0, 2):
             for seed in seeds:
                 failures.extend(chaos_case(algorithm, depth, seed))
                 if args.parity:
                     failures.extend(disk_kill_case(algorithm, depth, seed))
+                if args.rank_kill and algorithm in kill_algorithms:
+                    for backend in available_backends():
+                        failures.extend(rank_kill_case(
+                            algorithm, depth, seed, backend, fractions,
+                            kill_rows,
+                        ))
+    summary = {
+        "quick": args.quick,
+        "seeds": seeds,
+        "parity": args.parity,
+        "rank_kill": args.rank_kill,
+        "failures": failures,
+        "rank_kill_cases": kill_rows,
+    }
+    Path(args.json).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"\nsummary written to {args.json}")
     if failures:
         print(f"\n{len(failures)} chaos failure(s):")
         for line in failures:

@@ -130,6 +130,15 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         from repro.governor import JobGovernor
 
         governor = JobGovernor(max_queue=args.max_queue)
+    restart_policy = None
+    if args.max_restarts > 0:
+        from repro.resilience import RestartPolicy
+
+        restart_policy = RestartPolicy(
+            max_restarts=args.max_restarts,
+            base_backoff_s=args.restart_backoff,
+            seed=args.seed,
+        )
     result = sort_out_of_core(
         args.algorithm, records, cluster, fmt, buffer_records=args.buffer,
         workdir=args.workdir, pipeline_depth=args.pipeline_depth,
@@ -140,6 +149,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         mem_budget_bytes=args.mem_budget,
         governor=governor,
         backend=args.backend,
+        restart_policy=restart_policy,
     )
     io = result.io
     print(
@@ -199,6 +209,26 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             print(render_table(rows))
         else:
             print("  governance: no counters recorded")
+    sup = result.supervisor or {}
+    if sup.get("restarts"):
+        print(
+            f"  supervision: {sup['restarts']} restart"
+            f"{'s' if sup['restarts'] != 1 else ''} "
+            f"(of {sup.get('max_restarts', 0)} allowed), "
+            f"{sup.get('restart_wall', 0.0):.3f}s recovering"
+        )
+    if args.supervision_report:
+        from repro.experiments.breakdown import supervisor_breakdown_table
+        from repro.experiments.tables import render_table
+
+        rows = supervisor_breakdown_table(result)
+        if rows:
+            print(render_table(rows))
+        else:
+            print(
+                "  supervision: no restart policy armed "
+                "(run with --max-restarts)"
+            )
     result.release_durability()
     return 0
 
@@ -321,6 +351,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the governance breakdown (cancel checks, budget "
              "stalls/evictions, disk-full reclaims, depth downshifts, "
              "admission wait)",
+    )
+    srt.add_argument(
+        "--max-restarts", type=int, default=0, metavar="N",
+        help="supervised recovery: automatically relaunch the run up to N "
+             "times from its last pass-boundary checkpoint when a rank "
+             "dies or hangs (0 = off); fatal classes — cancellation, "
+             "admission, budget, unrepairable corruption — never restart",
+    )
+    srt.add_argument(
+        "--restart-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base backoff before the first supervised restart (doubles "
+             "per restart, seeded jitter; only with --max-restarts)",
+    )
+    srt.add_argument(
+        "--supervision-report", action="store_true",
+        help="print the supervision breakdown (restarts taken, wall spent "
+             "recovering, per-attempt failure causes and resume points)",
     )
     srt.set_defaults(fn=_cmd_sort)
 

@@ -67,6 +67,7 @@ from __future__ import annotations
 import os
 import pickle
 import queue as _queue
+import signal
 import time
 import traceback
 from collections import defaultdict, deque
@@ -89,9 +90,71 @@ from repro.cluster.transport import Transport, raise_primary_failure
 from repro.errors import CommError
 from repro.membuf import copy_delta, copy_stats, get_pool, legacy_copies
 
-__all__ = ["ProcessTransport", "ProcessRouter", "RemoteRankError", "SHM_PREFIX"]
+__all__ = [
+    "ProcessTransport",
+    "ProcessRouter",
+    "RemoteRankError",
+    "SHM_PREFIX",
+    "sweep_stale_segments",
+]
 
 _CTX = get_context("fork")
+
+
+def describe_exit(exitcode: int | None) -> str:
+    """Human-readable cause for a rank's exit status: the delivering
+    signal's name for signal deaths (``exitcode < 0`` under
+    multiprocessing), the injected ``rank_exit`` marker when the chaos
+    layer's exit code is recognized, the bare code otherwise."""
+    from repro.resilience.faults import RANK_EXIT_CODE
+
+    if exitcode is None:
+        return "no exit status"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    if exitcode == RANK_EXIT_CODE:
+        return f"exitcode {exitcode} (injected rank_exit)"
+    return f"exitcode {exitcode}"
+
+
+def sweep_stale_segments() -> list[str]:
+    """Unlink transport shared-memory segments whose creating process
+    is gone; returns the names removed.
+
+    Defensive sweep for the supervised-restart path: every segment name
+    embeds its creator's pid (``repro-shm-<pid>-<seq>``), and a rank
+    SIGKILLed mid-collective can die between creating a slab and
+    reporting it, after the parent's pid-keyed teardown scan already
+    ran. Called between supervised attempts so a relaunched cohort
+    never inherits (or leaks) a dead cohort's kernel memory. Segments
+    created by *live* processes — including this one — are left alone.
+    """
+    removed: list[str] = []
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return removed  # non-POSIX shm layout: nothing to sweep
+    own = str(os.getpid())
+    for entry in entries:
+        parts = entry.split("-")
+        # repro-shm-<pid>-<seq>
+        if not (entry.startswith(SHM_PREFIX + "-") and len(parts) == 4):
+            continue
+        pid_part = parts[2]
+        if pid_part == own or not pid_part.isdigit():
+            continue
+        try:
+            os.kill(int(pid_part), 0)
+        except ProcessLookupError:
+            unlink_by_name(entry)
+            removed.append(entry)
+        except OSError:
+            continue  # alive but not ours (EPERM): leave it
+    return removed
 
 #: Seconds between writes of a rank's *live* activity stamp into the
 #: lock-guarded shared array. Every put/get calls ``touch``; stamping
@@ -608,7 +671,7 @@ class ProcessTransport(Transport):
                     "outcome": "err",
                     "error": RemoteRankError(
                         f"rank {p} process died without reporting "
-                        f"(exitcode {procs[p].exitcode})"
+                        f"({describe_exit(procs[p].exitcode)})"
                     ),
                 }
             if msg["outcome"] == "ok":

@@ -54,6 +54,11 @@ class SpmdResult:
     degraded_disks: list[int] = field(default_factory=list)
     reconstructed_blocks: int = field(default=0)
     checksum_failures: int = field(default=0)
+    #: Supervision record (see
+    #: :class:`~repro.resilience.supervisor.SupervisorStats.as_dict`)
+    #: when the run was launched with a ``restart_policy``; empty dict
+    #: otherwise.
+    supervisor: dict = field(default_factory=dict)
 
     def total_network_bytes(self) -> int:
         return sum(s.snapshot()["network_bytes"] for s in self.stats)
@@ -75,6 +80,7 @@ def run_spmd(
     cancel=None,
     backend: str = "thread",
     disks=None,
+    restart_policy=None,
     **kwargs,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` ranks.
@@ -121,6 +127,19 @@ def run_spmd(
         Only needed by non-shared-memory backends, which use it to
         merge the ranks' per-disk I/O counter deltas back into these
         (the caller's) stats objects after the join.
+    restart_policy:
+        Optional :class:`~repro.resilience.supervisor.RestartPolicy`.
+        When set, the whole launch runs under a
+        :class:`~repro.resilience.supervisor.RunSupervisor`: a
+        restartable cohort failure (a killed or vanished rank, a
+        watchdog timeout, an escaped transient fault) relaunches the
+        *entire program from rank 0* on the same transport — identical
+        supervision seam on every backend, so the conformance suite
+        holds. The supervision record lands on
+        ``SpmdResult.supervisor``. Programs launched this way must be
+        idempotent (or resolve their own resume point); the
+        checkpoint-aware seam in ``run_pass_program`` is the one the
+        sorts use.
 
     Returns
     -------
@@ -137,17 +156,37 @@ def run_spmd(
             f"rank_args must have one entry per rank ({size}), got {len(rank_args)}"
         )
     transport = get_transport(backend)
-    return transport.run(
-        size,
-        program,
-        *args,
-        rank_args=rank_args,
-        timeout=timeout,
-        watchdog_deadline=watchdog_deadline,
-        fault_plan=fault_plan,
-        retry_policy=retry_policy,
-        quarantine=quarantine,
-        cancel=cancel,
-        disks=disks,
-        **kwargs,
-    )
+
+    def launch() -> SpmdResult:
+        return transport.run(
+            size,
+            program,
+            *args,
+            rank_args=rank_args,
+            timeout=timeout,
+            watchdog_deadline=watchdog_deadline,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            quarantine=quarantine,
+            cancel=cancel,
+            disks=disks,
+            **kwargs,
+        )
+
+    if restart_policy is None:
+        return launch()
+    # Transport.run fully tears its cohort down before raising
+    # (join/terminate every rank, sweep fabric and segments), so the
+    # bare seam needs no between-attempt hook beyond reviving any
+    # quarantine state the dead attempt left armed.
+    from repro.resilience.supervisor import RunSupervisor
+
+    supervisor = RunSupervisor(restart_policy, cancel=cancel)
+
+    def on_restart(restart: int, exc: BaseException) -> None:
+        if quarantine is not None:
+            quarantine.revive()
+
+    result = supervisor.run(launch, on_restart=on_restart)
+    result.supervisor = supervisor.stats.as_dict()
+    return result

@@ -97,7 +97,15 @@ class Transport(ABC):
     * ``disks`` (the run's :class:`~repro.disks.virtual_disk.VirtualDisk`
       list) lets a non-shared-memory backend merge per-rank I/O counter
       deltas back into the caller's stats objects — the thread backend
-      ignores it because the objects are already shared.
+      ignores it because the objects are already shared;
+    * **idempotent teardown** — before ``run`` raises, the cohort is
+      fully torn down (ranks joined or abandoned-as-daemons, fabric
+      drained and closed, crash-swept segments unlinked), leaving no
+      state that would poison an immediate re-``run`` on the same
+      transport. This is what lets a
+      :class:`~repro.resilience.supervisor.RunSupervisor` relaunch a
+      crashed run inside the same call, on either backend, through the
+      single seam in :func:`~repro.cluster.spmd.run_spmd`.
     """
 
     #: Registry key (``"thread"`` / ``"process"``).

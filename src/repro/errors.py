@@ -154,19 +154,50 @@ class AuditError(ResilienceError):
 class WatchdogTimeout(ResilienceError):
     """A rank made no observable progress past the watchdog deadline
     (stuck in a collective, a pool wait, or a hung disk call); carries
-    the stuck rank and the seconds it sat idle."""
+    the stuck rank and the seconds it sat idle.
 
-    def __init__(self, rank: int, idle_s: float, deadline_s: float) -> None:
+    The watchdog only fires when *every* watched rank is silent, so the
+    optional ``stalled`` list names them all — ``(rank, idle_s)`` pairs,
+    quietest first. ``rank``/``idle_s`` stay the quietest rank (the
+    primary suspect), keeping the one-rank form backward compatible.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        idle_s: float,
+        deadline_s: float,
+        stalled: list | None = None,
+    ) -> None:
         self.rank = rank
         self.idle_s = idle_s
         self.deadline_s = deadline_s
-        super().__init__(
+        self.stalled = [(int(r), float(s)) for r, s in (stalled or [])]
+        message = (
             f"rank {rank} made no progress for {idle_s:.1f}s "
             f"(watchdog deadline {deadline_s:.1f}s)"
         )
+        if len(self.stalled) > 1:
+            message += "; all stalled ranks: " + ", ".join(
+                f"{r} ({s:.1f}s idle)" for r, s in self.stalled
+            )
+        super().__init__(message)
 
     def __reduce__(self):
-        return (type(self), (self.rank, self.idle_s, self.deadline_s))
+        return (type(self), (self.rank, self.idle_s, self.deadline_s, self.stalled))
+
+
+class RankKilled(ResilienceError):
+    """A fault plan killed this rank (chaos injection).
+
+    On the thread backend a ``rank_kill``/``rank_exit`` fault surfaces
+    as this exception — the closest a shared address space comes to
+    losing a rank; on the process backend the rank really dies (SIGKILL
+    or ``os._exit``) and the parent reports a
+    :class:`~repro.cluster.process_backend.RemoteRankError` instead.
+    Both are restartable under a
+    :class:`~repro.resilience.supervisor.RestartPolicy`.
+    """
 
 
 class GovernorError(ReproError, RuntimeError):

@@ -335,6 +335,61 @@ def governance_breakdown_table(result) -> list[dict]:
     return rows
 
 
+def supervisor_breakdown_table(result) -> list[dict]:
+    """Supervised-recovery accounting for a run, as table rows.
+
+    ``result`` is an :class:`~repro.oocs.base.OocResult` (or anything
+    carrying a ``supervisor`` dict in the
+    :class:`~repro.resilience.supervisor.SupervisorStats` shape); the
+    rows answer "what did supervision do": restarts taken against the
+    policy's budget, wall-clock spent recovering, and one row per
+    failed attempt naming its cause, the failing rank, and where the
+    relaunch resumed. Empty when the run carried no restart policy.
+    """
+    sup = getattr(result, "supervisor", None) or {}
+    if not sup:
+        return []
+    rows = [
+        {
+            "metric": "restarts",
+            "value": sup.get("restarts", 0),
+            "note": f"of {sup.get('max_restarts', 0)} allowed",
+        },
+        {
+            "metric": "restart wall (s)",
+            "value": round(sup.get("restart_wall", 0.0), 3),
+            "note": "teardown sweep + backoff + resume validation",
+        },
+    ]
+    for entry in sup.get("attempts", []):
+        if entry.get("restarted"):
+            resumed = entry.get("resumed_from_pass")
+            note = (
+                "restarted from scratch"
+                if resumed in (None, 0)
+                else f"restarted after pass {resumed}"
+            )
+            note += f" (backoff {entry.get('backoff_s', 0.0):.3f}s)"
+        else:
+            note = (
+                "fatal class — not restartable"
+                if not entry.get("restartable")
+                else "restart budget exhausted"
+            )
+        rank = entry.get("rank")
+        cause = entry.get("cause", "?")
+        rows.append(
+            {
+                "metric": f"attempt {entry.get('attempt', '?')} failure",
+                "value": cause if rank is None else f"{cause} (rank {rank})",
+                "note": note,
+            }
+        )
+    for row in rows:
+        row["algorithm"] = getattr(result, "algorithm", "")
+    return rows
+
+
 def io_boundedness(rows: list[dict]) -> dict[str, float]:
     """Mean I/O-thread utilization per algorithm — the quantitative form
     of the paper's 'how I/O-bound is it' narrative."""

@@ -77,6 +77,7 @@ def sort_out_of_core(
     mem_budget_bytes: int | None = None,
     governor=None,
     backend: str = "thread",
+    restart_policy=None,
 ) -> OocResult:
     """Sort ``records`` out-of-core with the named algorithm
     (``"threaded"``, ``"subblock"``, ``"m"``, or ``"hybrid"``).
@@ -134,6 +135,18 @@ def sort_out_of_core(
     requires the thread backend (the parity layer's state lives in one
     address space).
 
+    ``restart_policy`` arms in-run supervised recovery (see
+    :mod:`repro.resilience.supervisor`): a rank that dies mid-run
+    (SIGKILL, ``os._exit``, an unhandled exception, a watchdog timeout)
+    no longer aborts the call — the cohort is torn down, stale state
+    swept, and the pass program relaunched from the last pass-boundary
+    checkpoint (from scratch without a ``checkpoint_dir``), up to
+    ``max_restarts`` times with seeded backoff. Restart attempts run
+    under the *same* cancel token and admission ticket: a deadline
+    expiring during recovery still cancels the run, and a supervised
+    job is admitted (and charged) exactly once however many attempts
+    it takes. The supervision record lands in ``OocResult.supervisor``.
+
     >>> from repro.records import RecordFormat, generate
     >>> from repro.cluster import ClusterConfig
     >>> fmt = RecordFormat("u8", 64)
@@ -181,6 +194,7 @@ def sort_out_of_core(
         audit=audit,
         cancel=cancel,
         backend=backend,
+        restart_policy=restart_policy,
     )
     if governor is None:
         governor = get_job_governor()

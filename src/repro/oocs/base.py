@@ -141,6 +141,17 @@ class OocJob:
         see :mod:`repro.cluster.process_backend`). Sorted output,
         pass structure, and the byte-exact I/O/comm/copy accounting
         are identical on both.
+    restart_policy:
+        Optional :class:`~repro.resilience.supervisor.RestartPolicy`.
+        When set, ``run_pass_program`` supervises the whole pass
+        program: a rank crash (SIGKILL, ``os._exit``, an unhandled
+        exception, a watchdog timeout) or an escaped transient cohort
+        failure sweeps the failed attempt's state and relaunches from
+        the last pass-boundary checkpoint *within the same call* —
+        from pass 0 when the job has no checkpoint directory. Fatal
+        classes (cancellation, admission, budget, unrepairable
+        corruption, config errors …) propagate unchanged; see
+        :meth:`~repro.resilience.supervisor.RestartPolicy.restartable`.
     """
 
     cluster: ClusterConfig
@@ -157,6 +168,7 @@ class OocJob:
     audit: bool = False
     cancel: object = None
     backend: str = "thread"
+    restart_policy: object = None
 
     def __post_init__(self) -> None:
         if self.backend not in available_backends():
@@ -215,6 +227,7 @@ class OocResult:
     copy: dict = field(default_factory=dict)  # data-plane copy accounting
     durability: dict = field(default_factory=dict)  # checksums/parity/audit
     governor: dict = field(default_factory=dict)  # budgets/ladder/admission
+    supervisor: dict = field(default_factory=dict)  # restarts/causes/wall
     trace: RunTrace | None = None
     workspace: object = None  # set by the convenience API to pin disks alive
 
@@ -928,9 +941,30 @@ def run_pass_program(
     attach_governor(disks, run_governor)
     pool = get_pool()
     pool.reset_budget_accounting()
+    # One snapshot before *all* attempts: the run's reported I/O
+    # includes traffic a crashed attempt wasted, which is the honest
+    # cost of the recovery.
     io_before = IoStats.combine([d.stats for d in disks])
-    try:
-        res, copy = run_spmd_metered(
+
+    supervisor = None
+    if job.restart_policy is not None:
+        from repro.resilience.supervisor import RunSupervisor
+
+        supervisor = RunSupervisor(job.restart_policy, cancel=job.cancel)
+
+    def attempt():
+        nonlocal start_pass
+        if supervisor is not None and supervisor.stats.attempts:
+            # A relaunch resumes after the last pass whose manifest (and
+            # on-disk store digest) survived the crash — from scratch
+            # when the job keeps no checkpoints.
+            start_pass = (
+                ckpt.resume_index(job, algorithm, stores)
+                if ckpt is not None
+                else 0
+            )
+            supervisor.stats.attempts[-1]["resumed_from_pass"] = start_pass
+        return run_spmd_metered(
             cluster.p,
             execute_passes,
             job,
@@ -949,6 +983,34 @@ def run_pass_program(
             backend=job.backend,
             disks=disks,
         )
+
+    def between_attempts(restart: int, exc: BaseException) -> None:
+        # Sweep everything the dead attempt could poison the next one
+        # with. Pool leases were already forgotten by run_spmd_metered's
+        # unwind; the transport joined/terminated the cohort and swept
+        # its reported segments before raising.
+        cleanup_failed_run(stores, ckpt)  # un-checkpointed scratch
+        for store in stores.values():
+            # Stale append cursors would corrupt a re-run of a dealing
+            # pass (its writes append); the files they described were
+            # just deleted.
+            reset = getattr(store, "reset_cursors", None)
+            if reset is not None:
+                reset()
+        if quarantine is not None:
+            # The relaunched cohort gets fresh (simulated) hardware:
+            # dead-disk state must not be inherited across attempts.
+            quarantine.revive()
+        if job.backend == "process":
+            from repro.cluster.process_backend import sweep_stale_segments
+
+            sweep_stale_segments()
+
+    try:
+        if supervisor is not None:
+            res, copy = supervisor.run(attempt, on_restart=between_attempts)
+        else:
+            res, copy = attempt()
     except BaseException as exc:
         cleanup_failed_run(stores, ckpt)
         if isinstance(exc, Cancellation) and quarantine is not None:
@@ -1012,6 +1074,7 @@ def run_pass_program(
         copy=copy,
         durability=durability,
         governor=governance,
+        supervisor=supervisor.stats.as_dict() if supervisor is not None else {},
         trace=run_trace,
     )
 

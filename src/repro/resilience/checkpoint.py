@@ -130,12 +130,28 @@ class CheckpointStore:
     # -- write -----------------------------------------------------------
 
     def save(self, manifest: dict) -> None:
-        """Persist one manifest atomically (temp file + rename), so a
-        kill during the write can never leave a torn manifest behind."""
+        """Persist one manifest crash-atomically.
+
+        Temp file + ``os.replace`` makes the manifest appear all-or-
+        nothing to other *processes*, but surviving a machine crash
+        needs more: the data must be fsynced before the rename (or the
+        rename can land pointing at zero bytes), and the directory must
+        be fsynced after it (or the rename itself can be lost). The
+        supervisor restarts runs on the strength of these files; a torn
+        one would turn recovery into corruption.
+        """
         path = self._path(manifest["pass_index"])
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(manifest, indent=2, sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        dir_fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def save_pass(self, job, algorithm: str, pass_index: int,
                   total_passes: int, store) -> dict:
@@ -153,10 +169,24 @@ class CheckpointStore:
         out = []
         for path in sorted(self.root.glob("pass_*.json")):
             try:
-                manifest = json.loads(path.read_text())
-            except (OSError, ValueError) as exc:
+                text = path.read_text()
+            except OSError as exc:
                 raise CheckpointError(
                     f"unreadable checkpoint manifest {path.name}: {exc}"
+                ) from exc
+            if not text.strip():
+                raise CheckpointError(
+                    f"checkpoint manifest {path.name} is empty — a crash "
+                    "truncated it before the bytes reached disk; delete it "
+                    "(or the checkpoint directory) to restart from the "
+                    "previous pass"
+                )
+            try:
+                manifest = json.loads(text)
+            except ValueError as exc:
+                raise CheckpointError(
+                    f"unreadable checkpoint manifest {path.name} (truncated "
+                    f"or torn JSON): {exc}"
                 ) from exc
             if manifest.get("version") != MANIFEST_VERSION:
                 raise CheckpointError(

@@ -23,11 +23,20 @@ faults.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
+import signal
 import threading
 from dataclasses import dataclass
 
-from repro.errors import CommError, DiskError, DiskFullError, ResilienceError
+from repro.errors import (
+    CommError,
+    DiskError,
+    DiskFullError,
+    RankKilled,
+    ResilienceError,
+)
 
 #: Operation kinds a fault spec may target. ``"any"`` matches every
 #: disk op (read and write) but not comm — matching the legacy
@@ -37,8 +46,18 @@ FAULT_OPS = ("read", "write", "comm", "any")
 #: Failure kinds a spec may inject. ``"fault"`` is a medium error
 #: (:class:`~repro.errors.DiskError` / :class:`~repro.errors.CommError`);
 #: ``"disk_full"`` is ENOSPC (:class:`~repro.errors.DiskFullError`),
-#: only meaningful for write-side disk ops.
-FAULT_KINDS = ("fault", "disk_full")
+#: only meaningful for write-side disk ops; ``"rank_kill"`` /
+#: ``"rank_exit"`` kill the rank performing the op — SIGKILL or a bare
+#: ``os._exit`` when the rank is a real forked process, a
+#: :class:`~repro.errors.RankKilled` exception on the thread backend.
+FAULT_KINDS = ("fault", "disk_full", "rank_kill", "rank_exit")
+
+#: The kinds that kill the executing rank instead of failing the op.
+KILL_KINDS = ("rank_kill", "rank_exit")
+
+#: Exit status a ``rank_exit`` fault dies with — distinct from both a
+#: clean exit and any signal, so the parent's dead-rank cause names it.
+RANK_EXIT_CODE = 86
 
 
 @dataclass(frozen=True)
@@ -77,7 +96,15 @@ class FaultSpec:
         of space at exactly this op, the precision tool for exercising
         the governor's reclaim/degrade ladder mid-pass. ``disk_full``
         rules must target write-side ops (``"write"`` or ``"any"``):
-        reads never allocate space.
+        reads never allocate space. ``"rank_kill"`` / ``"rank_exit"``
+        kill the *rank* performing the op: a real forked rank dies on
+        the spot (SIGKILL, or ``os._exit(RANK_EXIT_CODE)`` for
+        ``rank_exit``) so the parent must detect the silent death; a
+        thread-backend rank raises :class:`~repro.errors.RankKilled`
+        instead. Kill rules require a finite ``count`` and claim their
+        fires through a fork-shared counter, so exactly ``count`` ranks
+        of the whole cohort die — and a supervised restart of the same
+        plan does not re-fire a spent kill.
     """
 
     op: str = "any"
@@ -96,6 +123,11 @@ class FaultSpec:
         if self.kind == "disk_full" and self.op not in ("write", "any"):
             raise ResilienceError(
                 f"disk_full faults only fire on write-side ops, not {self.op!r}"
+            )
+        if self.kind in KILL_KINDS and self.count is None:
+            raise ResilienceError(
+                "rank-kill faults need a finite count — an unlimited kill "
+                "rule would kill every restarted cohort forever"
             )
         if not 0.0 <= self.probability <= 1.0:
             raise ResilienceError(
@@ -133,6 +165,22 @@ class FaultPlan:
         self._faults: dict[str, int] = {}
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
+        # Kill rules claim fires through fork-shared cells: a plan is
+        # fork-copied into every rank of the process backend, so a
+        # plain dict counter would (a) let every rank kill itself on
+        # its own nth op and (b) die with the killed child, re-arming
+        # the rule on every supervised restart. An anonymous
+        # multiprocessing.Value is inherited over fork, written
+        # atomically under its own lock, and survives any child's
+        # SIGKILL — the parent sees the spent counter.
+        self._kill_cells: dict[int, object] = {}
+        self._register_kill_cells()
+
+    def _register_kill_cells(self) -> None:
+        ctx = multiprocessing.get_context("fork")
+        for i, spec in enumerate(self._specs):
+            if spec.kind in KILL_KINDS and i not in self._kill_cells:
+                self._kill_cells[i] = ctx.Value("i", 0)
 
     @property
     def specs(self) -> tuple[FaultSpec, ...]:
@@ -144,6 +192,7 @@ class FaultPlan:
         """Append one more rule to the plan."""
         with self._lock:
             self._specs.append(spec)
+            self._register_kill_cells()
 
     def arm_once(self, op: str) -> None:
         """The legacy ``inject_fault`` contract: the next matching op
@@ -160,6 +209,19 @@ class FaultPlan:
             exc = DiskError(f"injected {op} fault {where} ({mode})")
         exc.transient = spec.transient
         return exc
+
+    def _kill(self, spec: FaultSpec, where: str):
+        """Kill the executing rank. Never returns normally."""
+        if multiprocessing.parent_process() is not None:
+            # A real forked rank: die for real, no unwind, no goodbye
+            # message — the parent must detect the silent death.
+            if spec.kind == "rank_exit":
+                os._exit(RANK_EXIT_CODE)
+            os.kill(os.getpid(), signal.SIGKILL)
+        # Thread-backend ranks share the test runner's address space;
+        # the closest analogue of losing the rank is a structured,
+        # never-retryable exception.
+        raise RankKilled(f"injected {spec.kind} {where}")
 
     def check(self, op: str, where: str = "", disk_id: int | None = None) -> None:
         """Raise an injected fault if a rule fires for this op.
@@ -188,6 +250,25 @@ class FaultPlan:
                     continue  # reads never allocate space
                 if spec.disk is not None and spec.disk != disk_id:
                     continue
+                if spec.kind in KILL_KINDS:
+                    cell = self._kill_cells[i]
+                    with cell.get_lock():
+                        if cell.value >= spec.count:
+                            continue
+                        if spec.nth is not None:
+                            seen = n_disk if spec.disk is not None else n
+                            # >= rather than ==: the first rank past the
+                            # threshold claims the kill, whatever its
+                            # exact local count (each forked rank counts
+                            # its own ops).
+                            hit = seen >= spec.nth
+                        else:
+                            hit = self._rng.random() < spec.probability
+                        if not hit:
+                            continue
+                        cell.value += 1
+                    self._faults[op] = self._faults.get(op, 0) + 1
+                    self._kill(spec, where)
                 fired = self._fired.get(i, 0)
                 if spec.count is not None and fired >= spec.count:
                     continue
@@ -204,12 +285,16 @@ class FaultPlan:
                     raise self._error(op, spec, where)
 
     def snapshot(self) -> dict:
-        """Ops seen and faults fired, per op kind."""
+        """Ops seen and faults fired, per op kind. ``rank_kills`` is
+        read from the fork-shared cells, so the parent sees kills that
+        fired inside (and died with) a forked rank."""
         with self._lock:
+            kills = sum(cell.value for cell in self._kill_cells.values())
             return {
                 "ops": dict(self._ops),
                 "faults": dict(self._faults),
-                "fired_total": sum(self._fired.values()),
+                "fired_total": sum(self._fired.values()) + kills,
+                "rank_kills": kills,
             }
 
     def reset_counters(self) -> None:
@@ -220,6 +305,9 @@ class FaultPlan:
             self._ops_by_disk.clear()
             self._faults.clear()
             self._rng = random.Random(self.seed)
+            for cell in self._kill_cells.values():
+                with cell.get_lock():
+                    cell.value = 0
 
 
 def transient_plan(

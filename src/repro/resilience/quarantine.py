@@ -144,6 +144,30 @@ class DiskQuarantine:
             with _active_lock:
                 _active.add(self)
 
+    def revive(self) -> list[int]:
+        """Forget dead-disk state between supervised restart attempts.
+
+        A supervised relaunch re-executes the failed pass against the
+        same virtual disks; dead/permanent state inherited from the
+        crashed attempt would make the fresh attempt fail fast on disks
+        that (in the simulated world) came back with the new cohort —
+        and would trip the leak check if the run then succeeded.
+        Clears the dead set and permanent-fault counts and drops the
+        quarantine from the global registry, but — unlike
+        :meth:`release` — leaves it *armed*: a disk that dies again in
+        the next attempt re-registers normally. The cumulative
+        durability counters (checksums, reconstructions, repairs,
+        spare writes) are kept: they describe the whole run, wasted
+        attempts included. Returns the disk ids that were dead.
+        """
+        with self._lock:
+            revived = sorted(self._dead)
+            self._dead.clear()
+            self._permanent.clear()
+        with _active_lock:
+            _active.discard(self)
+        return revived
+
     def release(self) -> None:
         """Retire this quarantine from the global leak-check registry.
 

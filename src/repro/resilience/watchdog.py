@@ -86,9 +86,17 @@ class RankWatchdog:
             # watchdog just because one rank waits on another.
             if any(now - stamp < self.deadline_s for stamp in stamps.values()):
                 continue
-            stuck = min(stamps, key=lambda r: (stamps[r], r))
+            # Every watched rank is past the deadline by construction;
+            # report them all (quietest first) so a supervisor's
+            # restart-cause log is diagnosable, with the quietest rank
+            # as the primary suspect.
+            stalled = sorted(
+                ((rank, now - stamp) for rank, stamp in stamps.items()),
+                key=lambda item: (-item[1], item[0]),
+            )
+            stuck, idle_s = stalled[0]
             self.error = WatchdogTimeout(
-                stuck, now - stamps[stuck], self.deadline_s
+                stuck, idle_s, self.deadline_s, stalled=stalled
             )
             self.fired.set()
             self.router.close()

@@ -144,6 +144,29 @@ class TestResumeValidation:
                 run_sort(algorithm, recs, 0, workdir=workdir, checkpoint_dir=ckdir)
         return recs, workdir, ckdir
 
+    def test_empty_manifest_rejected(self, tmp_path):
+        """A crash between open and fsync can leave a zero-byte
+        manifest; resume must refuse it with a message naming the file
+        rather than crash on a JSON parse."""
+        recs, workdir, ckdir = self.make_killed_run(tmp_path)
+        victim = next(iter(sorted(ckdir.glob("pass_*.json"))))
+        victim.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            run_sort(
+                "threaded", recs, 0,
+                workdir=workdir, checkpoint_dir=ckdir, resume=True,
+            )
+
+    def test_torn_manifest_rejected(self, tmp_path):
+        recs, workdir, ckdir = self.make_killed_run(tmp_path)
+        victim = next(iter(sorted(ckdir.glob("pass_*.json"))))
+        victim.write_text(victim.read_text()[:10])
+        with pytest.raises(CheckpointError, match="truncated or torn"):
+            run_sort(
+                "threaded", recs, 0,
+                workdir=workdir, checkpoint_dir=ckdir, resume=True,
+            )
+
     def test_algorithm_mismatch_rejected(self, tmp_path):
         recs, workdir, ckdir = self.make_killed_run(tmp_path)
         with pytest.raises(CheckpointError, match="algorithm"):

@@ -71,6 +71,33 @@ class TestStuckRank:
         assert isinstance(err.value.cause, WatchdogTimeout)
         assert err.value.rank == 0  # tie in stamps resolves to lowest rank
 
+    def test_deadlocked_world_reports_all_stalled_ranks(self):
+        """When several ranks are silent past the deadline, the error
+        must carry all of them (id + idle seconds), not just the
+        primary suspect — that's what makes a supervisor's restart log
+        diagnosable."""
+
+        def program(comm):
+            comm.recv(source=(comm.rank + 1) % 3, tag=5)  # 3-cycle deadlock
+
+        with alarm_timeout(30, "watchdog failed on a deadlocked world"):
+            with pytest.raises(SpmdError) as err:
+                run_spmd(3, program, watchdog_deadline=1.0)
+        cause = err.value.cause
+        assert isinstance(cause, WatchdogTimeout)
+        assert sorted(rank for rank, _ in cause.stalled) == [0, 1, 2]
+        assert all(idle >= 1.0 for _, idle in cause.stalled)
+        # quietest first; the primary suspect is the first entry
+        assert cause.stalled[0][0] == cause.rank
+        assert "all stalled ranks" in str(cause)
+        for rank in (0, 1, 2):
+            assert f"{rank} (" in str(cause)
+
+    def test_single_stalled_rank_keeps_terse_message(self):
+        exc = WatchdogTimeout(1, 3.0, 1.0, stalled=[(1, 3.0)])
+        assert "all stalled ranks" not in str(exc)
+        assert exc.stalled == [(1, 3.0)]
+
 
 class TestNoFalsePositives:
     def test_slow_but_active_run_never_trips(self):
