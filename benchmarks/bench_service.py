@@ -1,0 +1,326 @@
+"""Service chaos harness: a K-tenant storm against the daemon with a
+kill-the-daemon matrix.
+
+The daemon runs as a real subprocess (``repro.cli serve``). Each
+scenario submits K jobs across prioritized tenants, then ``kill -9``-s
+the daemon at a sampled lifecycle point:
+
+* **after-submit** — every submit acknowledged, nothing necessarily run;
+* **mid-run** — at least one job is running (checkpoints in flight);
+* **after-first-done** — at least one job finished;
+* **during-drain** — the kill lands while a drain is in progress.
+
+After each kill the daemon restarts over the same root and the client
+resubmits all K specs with their original idempotency keys. The
+contract checked every time: **zero lost jobs, zero duplicated jobs**
+(every resubmit dedupes onto its journaled job; the job table holds
+exactly K jobs), every job reaches ``done``, and every output digest is
+**byte-identical** to an uninterrupted in-process run of the same spec.
+A final clean scenario (no kill) drains gracefully via SIGTERM and the
+daemon must exit 0.
+
+The run summary is written to ``BENCH_service.json`` (the CI artifact
+the service-smoke job archives).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/bench_service.py  # full matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster.config import ClusterConfig
+from repro.oocs.api import sort_out_of_core
+from repro.oocs.report import output_digest
+from repro.records.format import RecordFormat
+from repro.records.generators import generate
+from repro.service import ServiceClient
+from repro.service.journal import JobJournal
+from repro.service.jobs import replay_jobs
+
+#: Base job shape (fast, known-good for threaded: s=8, r=512 ≥ 2s²).
+BASE_SPEC = {"records": 4096, "buffer": 512, "processors": 4}
+
+#: Tenants the storm spreads jobs across (name, priority).
+TENANTS = [("vip", 10), ("default", 0), ("batch", -5)]
+
+SCENARIOS = ("after-submit", "mid-run", "after-first-done", "during-drain")
+
+
+def expected_digests(seeds) -> dict[int, str]:
+    """Digest of an uninterrupted run per seed — the identity every
+    post-crash job output is compared against."""
+    fmt = RecordFormat("u8", 64)
+    cluster = ClusterConfig(p=BASE_SPEC["processors"],
+                            mem_per_proc=BASE_SPEC["buffer"] * 2)
+    out = {}
+    for seed in seeds:
+        records = generate("uniform", fmt, BASE_SPEC["records"], seed=seed)
+        res = sort_out_of_core(
+            "threaded", records, cluster, fmt,
+            buffer_records=BASE_SPEC["buffer"], pipeline_depth=2,
+        )
+        out[seed] = output_digest(res)
+        res.output.delete()
+        tmp = getattr(getattr(res, "workspace", None), "_tmp", None)
+        if tmp is not None:
+            tmp.cleanup()
+    return out
+
+
+class Daemon:
+    """One ``repro.cli serve`` subprocess over a service root."""
+
+    def __init__(self, root: Path, workers: int = 2) -> None:
+        self.root = root
+        self.workers = workers
+        self.socket_path = root / "service.sock"
+        self.proc: subprocess.Popen | None = None
+
+    def start(self, timeout_s: float = 30.0) -> "Daemon":
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        cmd = [sys.executable, "-m", "repro.cli", "serve",
+               "--root", str(self.root), "--workers", str(self.workers)]
+        for name, priority in TENANTS:
+            cmd += ["--tenant", f"{name}={priority}"]
+        self.proc = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon died on startup (exit {self.proc.returncode})"
+                )
+            try:
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.connect(str(self.socket_path))
+                probe.close()
+                return self
+            except OSError:
+                time.sleep(0.05)
+        raise RuntimeError("daemon did not come up in time")
+
+    def kill9(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def sigterm(self, timeout_s: float = 120.0) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        self.proc.wait(timeout=timeout_s)
+        return self.proc.returncode
+
+
+def submit_storm(client: ServiceClient, k: int) -> dict[str, dict]:
+    """Submit K jobs across the tenants; returns key → job info."""
+    jobs: dict[str, dict] = {}
+    for i in range(k):
+        tenant = TENANTS[i % len(TENANTS)][0]
+        key = f"storm-{i}"
+        spec = {**BASE_SPEC, "seed": i}
+        ack = client.submit(spec, tenant=tenant, key=key)
+        jobs[key] = {"job": ack["job"], "seed": i, "tenant": tenant}
+    return jobs
+
+
+def wait_for(client: ServiceClient, jobs: dict, predicate,
+             timeout_s: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        states = [client.status(info["job"])["state"] for info in jobs.values()]
+        if predicate(states):
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"condition not reached; last states: {states}")
+
+
+def run_scenario(scenario: str, k: int, digests: dict[int, str],
+                 summary: dict) -> list[str]:
+    failures: list[str] = []
+    tag = f"scenario[{scenario}] K={k}"
+    with tempfile.TemporaryDirectory(prefix="bench-svc-", dir="/tmp") as tmp:
+        root = Path(tmp)
+        daemon = Daemon(root).start()
+        client = ServiceClient(daemon.socket_path, retries=10, backoff_s=0.1)
+        try:
+            jobs = submit_storm(client, k)
+
+            if scenario == "mid-run":
+                wait_for(client, jobs, lambda s: any(
+                    state in ("running", "checkpointed") for state in s))
+            elif scenario == "after-first-done":
+                wait_for(client, jobs, lambda s: "done" in s)
+            elif scenario == "during-drain":
+                wait_for(client, jobs, lambda s: any(
+                    state in ("running", "checkpointed") for state in s))
+                # Fire the drain and kill the daemon in the middle of it:
+                # write the request, never read the response.
+                raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                raw.connect(str(daemon.socket_path))
+                raw.sendall(b'{"op": "drain", "deadline_s": 60}\n')
+                time.sleep(0.2)
+                raw.close()
+
+            daemon.kill9()
+            summary["kills"] += 1
+
+            daemon = Daemon(root).start()
+            # Resubmit everything with the original keys: every ack was
+            # journaled before it was sent, so every resubmit must land
+            # on its existing job — zero lost, zero duplicated.
+            for key, info in jobs.items():
+                again = client.submit(
+                    {**BASE_SPEC, "seed": info["seed"]},
+                    tenant=info["tenant"], key=key,
+                )
+                if not again.get("duplicate"):
+                    failures.append(
+                        f"{tag}: {key} was lost across the kill "
+                        f"(resubmit created {again['job']})"
+                    )
+                elif again["job"] != info["job"]:
+                    failures.append(
+                        f"{tag}: {key} resubmit hit {again['job']}, "
+                        f"expected {info['job']}"
+                    )
+
+            for key, info in jobs.items():
+                final = client.wait(info["job"], timeout_s=300)
+                if final["state"] != "done":
+                    failures.append(
+                        f"{tag}: {info['job']} ended {final['state']}: "
+                        f"{final.get('error')}"
+                    )
+                    continue
+                got = final["result"]["output_digest"]
+                if got != digests[info["seed"]]:
+                    failures.append(
+                        f"{tag}: {info['job']} digest diverged after crash "
+                        f"recovery ({got[:12]}… != "
+                        f"{digests[info['seed']][:12]}…)"
+                    )
+                summary["resumed_attempts"] += final["attempts"] - 1
+
+            health = client.health()
+            if health["jobs"] != {"done": k}:
+                failures.append(
+                    f"{tag}: job table is not exactly K done jobs: "
+                    f"{health['jobs']}"
+                )
+            summary["torn_bytes_repaired"] += (
+                health["recovered"]["torn_bytes_repaired"])
+
+            code = daemon.sigterm()
+            if code != 0:
+                failures.append(f"{tag}: daemon exit code {code} after SIGTERM")
+
+            # Independent audit: replay the journal offline and confirm
+            # the crash left a legal, K-job, all-done history.
+            journal = JobJournal(root / "journal.log")
+            events, torn = journal.replay()
+            journal.close()
+            if torn:
+                failures.append(f"{tag}: {torn} torn bytes after clean stop")
+            replayed, _ = replay_jobs(events)
+            if len(replayed) != k or any(
+                    record.state != "done" for record in replayed.values()):
+                failures.append(
+                    f"{tag}: offline replay disagrees: "
+                    f"{ {j: r.state for j, r in replayed.items()} }"
+                )
+        finally:
+            client.close()
+            if daemon.proc is not None and daemon.proc.poll() is None:
+                daemon.proc.kill()
+                daemon.proc.wait(timeout=30)
+    status = "ok" if not failures else "FAILED"
+    print(f"  {tag}: {status}")
+    return failures
+
+
+def clean_scenario(k: int, digests: dict[int, str], summary: dict) -> list[str]:
+    """No chaos: the storm completes, SIGTERM drains gracefully, exit 0."""
+    failures: list[str] = []
+    tag = f"scenario[clean-drain] K={k}"
+    with tempfile.TemporaryDirectory(prefix="bench-svc-", dir="/tmp") as tmp:
+        daemon = Daemon(Path(tmp)).start()
+        client = ServiceClient(daemon.socket_path, retries=10)
+        try:
+            jobs = submit_storm(client, k)
+            for key, info in jobs.items():
+                final = client.wait(info["job"], timeout_s=300)
+                if final["state"] != "done":
+                    failures.append(f"{tag}: {info['job']} {final['state']}")
+                elif final["result"]["output_digest"] != digests[info["seed"]]:
+                    failures.append(f"{tag}: {info['job']} digest diverged")
+            health = client.health()
+            summary["governor"] = health["governor"]
+            code = daemon.sigterm()
+            if code != 0:
+                failures.append(f"{tag}: exit code {code} after SIGTERM")
+        finally:
+            client.close()
+            if daemon.proc is not None and daemon.proc.poll() is None:
+                daemon.proc.kill()
+                daemon.proc.wait(timeout=30)
+    print(f"  {tag}: {'ok' if not failures else 'FAILED'}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="K=4 and two kill points (the CI gate)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="jobs per scenario (default 4 quick / 6 full)")
+    parser.add_argument("--json", default="BENCH_service.json",
+                        help="summary artifact path")
+    args = parser.parse_args(argv)
+
+    k = args.jobs or (4 if args.quick else 6)
+    scenarios = (
+        ("mid-run", "after-first-done") if args.quick else SCENARIOS
+    )
+    summary: dict = {
+        "jobs_per_scenario": k,
+        "scenarios": list(scenarios) + ["clean-drain"],
+        "kills": 0,
+        "resumed_attempts": 0,
+        "torn_bytes_repaired": 0,
+    }
+    print(f"computing {k} reference digests in-process...")
+    digests = expected_digests(range(k))
+    failures: list[str] = []
+    for scenario in scenarios:
+        failures.extend(run_scenario(scenario, k, digests, summary))
+    failures.extend(clean_scenario(k, digests, summary))
+
+    summary["failures"] = failures
+    Path(args.json).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"\nsummary written to {args.json}")
+    if failures:
+        print(f"{len(failures)} service failure(s):")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        return 1
+    print("all service chaos cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

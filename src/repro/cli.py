@@ -6,7 +6,10 @@
 * ``report`` — Figure 2 plus every table and the claim checklist;
 * ``bounds`` / ``crossover`` / ``msgcount`` / ``coverage`` — individual tables;
 * ``sort`` — run a real (laptop-scale) out-of-core sort on the simulated
-  cluster and verify the output.
+  cluster and verify the output (``--json`` for the machine-readable
+  result schema);
+* ``serve`` / ``client`` — the crash-safe sort-as-a-service daemon and
+  its line-protocol client (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -96,6 +99,15 @@ def _print_copy_stats(result) -> None:
         )
 
 
+def _print_json_summary(result) -> None:
+    import json
+
+    from repro.oocs.report import result_summary
+
+    print(json.dumps(result_summary(result, verified=True),
+                     indent=2, sort_keys=True))
+
+
 def _cmd_sort(args: argparse.Namespace) -> int:
     from repro.oocs.api import sort_out_of_core
 
@@ -109,6 +121,9 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             records, cluster, fmt, args.buffer, group_size=args.group_size,
             workdir=args.workdir,
         )
+        if args.json:
+            _print_json_summary(result)
+            return 0
         print(
             f"{result.algorithm}: sorted {len(records)} records on "
             f"P={cluster.p} in {result.passes} passes — verified"
@@ -143,6 +158,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         args.algorithm, records, cluster, fmt, buffer_records=args.buffer,
         workdir=args.workdir, pipeline_depth=args.pipeline_depth,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        keep_checkpoints=args.keep_checkpoints,
         retry_policy=retry_policy,
         parity=args.parity, audit=args.audit,
         deadline_s=args.deadline,
@@ -151,6 +167,10 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         backend=args.backend,
         restart_policy=restart_policy,
     )
+    if args.json:
+        _print_json_summary(result)
+        result.release_durability()
+        return 0
     io = result.io
     print(
         f"{args.algorithm}: sorted {args.records} records on P={args.processors} "
@@ -233,6 +253,92 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant(spec: str):
+    """``name=priority[:max_running[:max_queued]]`` → (name, TenantPolicy)."""
+    from repro.service import TenantPolicy
+
+    name, sep, rest = spec.partition("=")
+    if not name or not sep:
+        raise argparse.ArgumentTypeError(
+            f"tenant spec {spec!r} is not name=priority[:max_running[:max_queued]]"
+        )
+    parts = rest.split(":")
+    try:
+        numbers = [int(part) for part in parts if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"tenant spec {spec!r} has non-integer fields"
+        ) from None
+    defaults = TenantPolicy()
+    priority = numbers[0] if len(numbers) > 0 else defaults.priority
+    max_running = numbers[1] if len(numbers) > 1 else defaults.max_running
+    max_queued = numbers[2] if len(numbers) > 2 else defaults.max_queued
+    return name, TenantPolicy(
+        max_running=max_running, max_queued=max_queued, priority=priority
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SortService
+
+    restart_policy = None
+    if args.max_restarts > 0:
+        from repro.resilience import RestartPolicy
+
+        restart_policy = RestartPolicy(max_restarts=args.max_restarts)
+    log = (
+        (lambda line: print(f"[serve] {line}", file=sys.stderr, flush=True))
+        if args.verbose
+        else None
+    )
+    service = SortService(
+        root=args.root,
+        socket_path=args.socket,
+        workers=args.workers,
+        max_concurrent=args.max_concurrent,
+        mem_quota_bytes=args.mem_quota,
+        scratch_quota_bytes=args.scratch_quota,
+        tenants=dict(args.tenant or []),
+        restart_policy=restart_policy,
+        drain_timeout_s=args.drain_timeout,
+        log=log,
+    )
+    service.start()
+    service.install_signal_handlers()
+    print(f"serving on {service.socket_path} (pid {service.health()['pid']})",
+          flush=True)
+    # Poll-wait so SIGTERM/SIGINT handlers run promptly on the main thread.
+    while not service.stopped.wait(0.2):
+        pass
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(
+        args.socket, request_timeout_s=args.timeout, retries=args.retries
+    ) as client:
+        if args.op == "submit":
+            spec = json.loads(args.spec) if args.spec else {}
+            response = client.submit(spec, tenant=args.tenant, key=args.key)
+            if args.wait:
+                response = client.wait(response["job"], timeout_s=args.timeout)
+        elif args.op in ("status", "result", "cancel"):
+            if not args.job:
+                print("error: --job is required for this op", file=sys.stderr)
+                return 2
+            response = getattr(client, args.op)(args.job)
+        elif args.op == "health":
+            response = client.health()
+        else:  # drain
+            response = client.drain(args.deadline)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-columnsort",
@@ -299,6 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir", default=None,
         help="persist a pass-boundary checkpoint manifest here after every "
              "completed pass (enables --resume)",
+    )
+    srt.add_argument(
+        "--keep-checkpoints", action="store_true",
+        help="keep the --checkpoint-dir manifests after a successful run "
+             "(default: a success prunes them — checkpoints exist to "
+             "survive failures)",
+    )
+    srt.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable result summary (the same "
+             "repro.sort-result/1 schema the service daemon returns) "
+             "instead of the human report",
     )
     srt.add_argument(
         "--resume", action="store_true",
@@ -390,11 +508,67 @@ def build_parser() -> argparse.ArgumentParser:
         default="beowulf-2003",
     )
     prd.set_defaults(fn=_cmd_predict)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the sort-as-a-service daemon (crash-safe job journal, "
+             "per-tenant quotas, graceful drain on SIGTERM)",
+    )
+    srv.add_argument("--root", required=True,
+                     help="service root: journal, lock, and per-job dirs")
+    srv.add_argument("--socket", default=None,
+                     help="unix socket path (default: <root>/service.sock)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="executor threads (concurrent jobs)")
+    srv.add_argument("--max-concurrent", type=int, default=None,
+                     help="governor concurrency cap (default: --workers)")
+    srv.add_argument("--mem-quota", type=int, default=None, metavar="BYTES",
+                     help="governor memory quota over running jobs")
+    srv.add_argument("--scratch-quota", type=int, default=None, metavar="BYTES",
+                     help="governor scratch quota over running jobs")
+    srv.add_argument(
+        "--tenant", action="append", type=_parse_tenant, metavar="SPEC",
+        help="per-tenant policy, name=priority[:max_running[:max_queued]] "
+             "(repeatable; unnamed tenants get the defaults)",
+    )
+    srv.add_argument("--max-restarts", type=int, default=2, metavar="N",
+                     help="supervised in-run recovery per job (0 = off)")
+    srv.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="SIGTERM drain deadline before in-flight jobs are "
+                          "checkpoint-interrupted for the next start to resume")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log job lifecycle events to stderr")
+    srv.set_defaults(fn=_cmd_serve)
+
+    cli = sub.add_parser(
+        "client", help="talk to a running serve daemon (JSON in, JSON out)"
+    )
+    cli.add_argument("op", choices=("submit", "status", "result", "cancel",
+                                    "health", "drain"))
+    cli.add_argument("--socket", required=True, help="daemon socket path")
+    cli.add_argument("--job", default=None, help="job id (status/result/cancel)")
+    cli.add_argument("--spec", default=None,
+                     help="submit: job spec as a JSON object (sort-CLI "
+                          "vocabulary: algorithm, records, buffer, ...)")
+    cli.add_argument("--tenant", default="default", help="submit: tenant name")
+    cli.add_argument("--key", default=None,
+                     help="submit: idempotency key (default: generated)")
+    cli.add_argument("--wait", action="store_true",
+                     help="submit: block until the job finishes and print "
+                          "its final record")
+    cli.add_argument("--deadline", type=float, default=None,
+                     help="drain: seconds to let in-flight jobs finish")
+    cli.add_argument("--timeout", type=float, default=300.0,
+                     help="request timeout seconds")
+    cli.add_argument("--retries", type=int, default=5,
+                     help="transport retries (exponential backoff reconnect)")
+    cli.set_defaults(fn=_cmd_client)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.errors import AdmissionRejected, Cancellation
+    from repro.errors import AdmissionRejected, Cancellation, ServiceError
 
     args = build_parser().parse_args(argv)
     try:
@@ -406,6 +580,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     except AdmissionRejected as exc:
         print(f"error: admission rejected ({exc.reason}): {exc}", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
 
 

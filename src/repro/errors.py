@@ -272,5 +272,31 @@ class AdmissionRejected(GovernorError):
         return (type(self), (self.reason, self.detail))
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The sort-as-a-service layer failed (a malformed request, a daemon
+    that refused to start, a client that exhausted its reconnect budget,
+    or a protocol violation on the job socket)."""
+
+
+class JournalError(ServiceError):
+    """The durable job journal is inconsistent beyond what torn-write
+    recovery covers: an illegal state transition on replay, a duplicate
+    submission record for one job id, or an event for a job the journal
+    never saw submitted. A merely *truncated* journal is not an error —
+    replay trusts the valid prefix and discards the torn tail."""
+
+
+class JobNotFound(ServiceError):
+    """A service request named a job id the daemon's journal has never
+    seen (or that was purged)."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+    def __reduce__(self):
+        return (type(self), (self.job_id,))
+
+
 class VerificationError(ReproError, AssertionError):
     """Sorted-output verification failed (order, permutation, or layout)."""

@@ -9,9 +9,10 @@ that contention:
 * **quotas** — at most ``max_concurrent`` jobs run at once, and the
   sum of admitted jobs' declared memory / scratch demands stays within
   ``mem_quota_bytes`` / ``scratch_quota_bytes`` (when set);
-* **bounded FIFO queueing** — a job that cannot start immediately
-  waits its turn in arrival order, but only ``max_queue`` jobs may
-  wait; the next one is *shed* immediately with
+* **bounded priority queueing** — a job that cannot start immediately
+  waits its turn (highest priority first, arrival order within a
+  priority; the default priority 0 everywhere is plain FIFO), but only
+  ``max_queue`` jobs may wait; the next one is *shed* immediately with
   :class:`~repro.errors.AdmissionRejected` ("queue full") rather than
   piling up;
 * **queue timeouts** — a queued job that cannot start within
@@ -120,7 +121,10 @@ class JobGovernor:
         self.queue_timeout_s = queue_timeout_s
         self._cv = threading.Condition()
         self._running: set[AdmissionTicket] = set()
-        self._waiters: deque[object] = deque()  # FIFO of opaque waiter keys
+        # Waiting jobs as (-priority, arrival seq, opaque key): min() is
+        # the head — highest priority first, FIFO within a priority.
+        self._waiters: deque[tuple] = deque()
+        self._waiter_seq = 0
         self._mem_in_use = 0
         self._scratch_in_use = 0
         self._counters = {key: 0 for key in ADMISSION_KEYS}
@@ -159,9 +163,12 @@ class JobGovernor:
         scratch_bytes: int = 0,
         timeout_s: float | None = None,
         cancel=None,
+        priority: int = 0,
     ) -> AdmissionTicket:
-        """Admit one job, queueing FIFO if it cannot start immediately.
+        """Admit one job, queueing if it cannot start immediately.
 
+        Queued jobs start highest ``priority`` first, FIFO within a
+        priority (the default 0 everywhere degenerates to plain FIFO).
         Raises :class:`~repro.errors.AdmissionRejected` when the queue
         is already full, the wait exceeds the timeout, or the declared
         demand exceeds the whole quota. ``cancel`` (a
@@ -193,7 +200,6 @@ class JobGovernor:
                 f"{self.scratch_quota_bytes} B",
             )
         timeout = self.queue_timeout_s if timeout_s is None else timeout_s
-        me = object()
         t0 = time.monotonic()
         deadline = t0 + timeout
         with self._cv:
@@ -207,13 +213,15 @@ class JobGovernor:
                     "queue full",
                     f"{len(self._waiters)} of {self.max_queue} slots waiting",
                 )
+            self._waiter_seq += 1
+            me = (-priority, self._waiter_seq, object())
             self._waiters.append(me)
             self._counters["peak_queued"] = max(
                 self._counters["peak_queued"], len(self._waiters)
             )
             try:
                 while not (
-                    self._waiters[0] is me
+                    min(self._waiters) is me
                     and self._fits(mem_bytes, scratch_bytes)
                 ):
                     if cancel is not None and cancel.cancelled():
@@ -226,7 +234,7 @@ class JobGovernor:
                             f"queued {timeout:.1f}s without a slot freeing",
                         )
                     self._cv.wait(min(left, 0.05))
-                self._waiters.popleft()
+                self._waiters.remove(me)
                 self._cv.notify_all()  # the new head may already fit
                 ticket = AdmissionTicket(
                     self, mem_bytes, scratch_bytes, time.monotonic() - t0

@@ -67,6 +67,7 @@ def sort_out_of_core(
     pipeline_depth: int = 0,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    keep_checkpoints: bool = False,
     retry_policy=None,
     fault_plan=None,
     watchdog_deadline: float | None = None,
@@ -99,7 +100,10 @@ def sort_out_of_core(
     every completed pass; with ``resume=True`` a killed run restarts
     after the last completed pass (requires an explicit ``workdir`` so
     the scratch files survive the kill) and produces byte-identical
-    output. ``retry_policy`` / ``fault_plan`` /
+    output. A successful run prunes its checkpoint directory (the
+    manifests and, when empty, the directory itself) — pass
+    ``keep_checkpoints=True`` to keep it for inspection.
+    ``retry_policy`` / ``fault_plan`` /
     ``watchdog_deadline`` are forwarded to the disks and the SPMD
     world — see :mod:`repro.resilience`. If the run fails with a
     temporary workdir, the scratch directory is removed.
@@ -217,6 +221,7 @@ def sort_out_of_core(
                 collect_trace=collect_trace,
                 checkpoint_dir=checkpoint_dir,
                 resume=resume,
+                keep_checkpoints=keep_checkpoints,
             )
         except BaseException:
             if ws._tmp is not None:

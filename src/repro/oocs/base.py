@@ -897,6 +897,7 @@ def run_pass_program(
     keep_intermediates: bool = False,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    keep_checkpoints: bool = False,
     trace_algorithm: str | None = None,
 ) -> OocResult:
     """Shared orchestration of every multi-pass program: resolve the
@@ -909,9 +910,12 @@ def run_pass_program(
     completed pass; ``resume=True`` restarts after the last completed
     pass recorded there (validated against the job and the on-disk
     store digest). On failure, scratch stores not referenced by a
-    manifest are deleted; on success the checkpoint directory is
-    cleared together with the intermediates (unless
-    ``keep_intermediates``).
+    manifest are deleted; on success the intermediates are deleted
+    (unless ``keep_intermediates``) and the checkpoint directory is
+    pruned away entirely (unless ``keep_checkpoints`` — the two
+    lifecycles are independent: checkpoints exist to survive *failed*
+    runs, so a successful one retires them no matter what it keeps for
+    debugging).
     """
     from repro.cluster.stats import combined
     from repro.errors import Cancellation
@@ -1038,8 +1042,8 @@ def run_pass_program(
         for key, store in stores.items():
             if key not in ("input", "output"):
                 store.delete()
-        if ckpt is not None:
-            ckpt.clear()  # a finished run's checkpoints are garbage
+    if ckpt is not None and not keep_checkpoints:
+        ckpt.prune()  # a finished run's checkpoints are garbage
 
     durability: dict = {}
     if quarantine is not None:

@@ -29,6 +29,7 @@ def baseline_io_passes(
     collect_trace: bool = True,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    keep_checkpoints: bool = False,
 ) -> OocResult:
     """Run ``passes`` read+write-only passes over the data (3 for the
     threaded/M baseline, 4 for the subblock baseline)."""
@@ -57,4 +58,5 @@ def baseline_io_passes(
         collect_trace=collect_trace,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        keep_checkpoints=keep_checkpoints,
     )

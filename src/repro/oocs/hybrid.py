@@ -152,6 +152,7 @@ def hybrid_columnsort_ooc(
     keep_intermediates: bool = False,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    keep_checkpoints: bool = False,
 ) -> OocResult:
     """Run the 4-pass hybrid (subblock + M) columnsort — the largest
     problem-size bound of all the variants, ``N ≤ M^(5/3)/4^(2/3)``.
@@ -189,4 +190,5 @@ def hybrid_columnsort_ooc(
         keep_intermediates=keep_intermediates,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        keep_checkpoints=keep_checkpoints,
     )

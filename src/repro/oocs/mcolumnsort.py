@@ -365,6 +365,7 @@ def m_columnsort_ooc(
     keep_intermediates: bool = False,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    keep_checkpoints: bool = False,
 ) -> OocResult:
     """Run 3-pass M-columnsort on ``input_store`` (a striped column
     store built by :func:`~repro.oocs.base.make_workspace` with
@@ -400,4 +401,5 @@ def m_columnsort_ooc(
         keep_intermediates=keep_intermediates,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        keep_checkpoints=keep_checkpoints,
     )

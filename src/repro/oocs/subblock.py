@@ -183,6 +183,7 @@ def subblock_columnsort_ooc(
     keep_intermediates: bool = False,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    keep_checkpoints: bool = False,
 ) -> OocResult:
     """Run 4-pass subblock columnsort on ``input_store``.
 
@@ -219,4 +220,5 @@ def subblock_columnsort_ooc(
         keep_intermediates=keep_intermediates,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        keep_checkpoints=keep_checkpoints,
     )

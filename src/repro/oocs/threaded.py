@@ -61,6 +61,7 @@ def threaded_columnsort_ooc(
     keep_intermediates: bool = False,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    keep_checkpoints: bool = False,
 ) -> OocResult:
     """Run 3-pass threaded columnsort on ``input_store`` (a column-major
     ``r × s`` matrix store built by
@@ -99,4 +100,5 @@ def threaded_columnsort_ooc(
         keep_intermediates=keep_intermediates,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        keep_checkpoints=keep_checkpoints,
     )

@@ -210,10 +210,25 @@ class CheckpointStore:
             return set()
 
     def clear(self) -> None:
-        """Remove every manifest (a completed run's checkpoints are
-        garbage)."""
+        """Remove every manifest — and any ``.json.tmp`` leftover a
+        crash stranded mid-:meth:`save` (a completed run's checkpoints
+        are garbage)."""
         for path in self.root.glob("pass_*.json"):
             path.unlink(missing_ok=True)
+        for path in self.root.glob("pass_*.json.tmp"):
+            path.unlink(missing_ok=True)
+
+    def prune(self) -> None:
+        """Retire the whole checkpoint directory after a successful run:
+        :meth:`clear` the manifests, then remove the directory itself if
+        nothing foreign lives there (best-effort — a caller-owned parent
+        or unexpected file means we leave the directory in place rather
+        than guess)."""
+        self.clear()
+        try:
+            self.root.rmdir()
+        except OSError:
+            pass
 
     # -- resume ----------------------------------------------------------
 

@@ -1,0 +1,210 @@
+"""The durable job journal: an fsync'd, torn-write-tolerant WAL.
+
+The daemon acknowledges nothing it has not journaled. Every job state
+transition is one record appended to a single journal file and fsynced
+before the acknowledgment leaves the process, so the journal — not the
+daemon's memory — is the authoritative job table. A ``kill -9`` at any
+instant leaves one of two file states: the record is fully on disk, or
+its tail is torn; replay accepts the longest valid prefix and discards
+the rest, which loses at most the single acknowledgment-pending record
+(whose client, never having been acknowledged, retries idempotently).
+
+Record format — one line per event::
+
+    <crc32-hex8> <compact-json>\\n
+
+The CRC covers exactly the JSON payload bytes. A record is trusted iff
+its line is newline-terminated, the CRC matches, the payload parses,
+and its ``seq`` continues the sequence. Anything else ends the valid
+prefix: a torn tail cannot masquerade as an event, and — because the
+file is append-only and each append is fsynced before the next — a
+record that fails validation mid-file means everything after it is
+untrustworthy too.
+
+:meth:`JobJournal.repair` truncates the file back to the valid prefix
+(the daemon does this once on startup, so a crash's torn tail does not
+shadow the next append), and :meth:`JobJournal.compact` atomically
+rewrites the journal from a caller-provided event list (bounding replay
+cost for a long-lived service).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.durability.hashing import block_checksum
+from repro.errors import JournalError
+
+#: Journal format version, recorded in every event.
+JOURNAL_VERSION = 1
+
+
+def _encode(event: dict) -> bytes:
+    payload = json.dumps(event, separators=(",", ":"), sort_keys=True)
+    if "\n" in payload:  # json.dumps never emits raw newlines; belt & braces
+        raise JournalError("journal event serialized with an embedded newline")
+    return f"{block_checksum(payload.encode()) & 0xFFFFFFFF:08x} {payload}\n".encode()
+
+
+def _decode(line: bytes) -> dict | None:
+    """Parse one complete line; None when it cannot be trusted."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if block_checksum(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        event = json.loads(payload)
+    except ValueError:
+        return None
+    return event if isinstance(event, dict) else None
+
+
+class JobJournal:
+    """One append-only journal file of job state transitions.
+
+    Thread-safe: the daemon's socket handlers, executor threads, and
+    the pass-boundary progress hook all append concurrently. Each
+    append is written, flushed, and fsynced under one lock, so the
+    on-disk sequence numbers are gap-free and monotonic.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._seq = 0  # last sequence number on disk (0 = empty)
+
+    # -- write -----------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def append(self, kind: str, job: str | None = None, **fields) -> int:
+        """Durably append one event; returns its sequence number.
+
+        The event is on disk (data fsynced) before this returns —
+        callers may acknowledge it to clients the moment it does.
+        """
+        with self._lock:
+            seq = self._seq + 1
+            event = {
+                "v": JOURNAL_VERSION,
+                "seq": seq,
+                "kind": kind,
+                "job": job,
+                "at": time.time(),
+            }
+            for key, value in fields.items():
+                if value is not None:
+                    event[key] = value
+            fh = self._handle()
+            fh.write(_encode(event))
+            fh.flush()
+            os.fsync(fh.fileno())
+            self._seq = seq
+            return seq
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- read ------------------------------------------------------------
+
+    def replay(self) -> tuple[list[dict], int]:
+        """The longest valid event prefix, plus the count of trailing
+        bytes discarded as torn (0 for a clean journal).
+
+        Also primes the append sequence, so a journal opened on a
+        recovered directory continues numbering where the valid prefix
+        ended (replay before the first append — the daemon's startup
+        order — makes this automatic).
+        """
+        events: list[dict] = []
+        valid_bytes = 0
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            data = b""
+        offset = 0
+        expect = 1
+        while offset < len(data):
+            end = data.find(b"\n", offset)
+            if end < 0:
+                break  # torn tail: no newline ever made it to disk
+            line = data[offset : end + 1]
+            event = _decode(line[:-1])
+            if event is None or event.get("seq") != expect:
+                break  # torn or foreign bytes; nothing after is trusted
+            events.append(event)
+            expect += 1
+            offset = end + 1
+            valid_bytes = offset
+        with self._lock:
+            self._seq = max(self._seq, len(events))
+        return events, len(data) - valid_bytes
+
+    # -- maintenance -----------------------------------------------------
+
+    def repair(self) -> int:
+        """Truncate the file back to its valid prefix; returns the
+        number of torn bytes removed. Idempotent; 0 for a clean file."""
+        events, torn = self.replay()
+        if torn:
+            with self._lock:
+                if self._fh is not None:
+                    self._fh.close()
+                    self._fh = None
+                size = sum(len(_encode(e)) for e in events)
+                # Re-encoding is byte-exact: we only ever wrote _encode's
+                # own output, and json round-trips its compact form.
+                with open(self.path, "ab") as fh:
+                    fh.truncate(size)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        return torn
+
+    def compact(self, events: list[dict]) -> None:
+        """Atomically replace the journal's contents with ``events``
+        (renumbered from 1). Crash-safe the same way checkpoint
+        manifests are: temp file fsync + ``os.replace`` + directory
+        fsync, so the journal is always either the old file or the new
+        one, never a mixture."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with open(tmp, "wb") as fh:
+                for seq, event in enumerate(events, start=1):
+                    event = dict(event)
+                    event["seq"] = seq
+                    fh.write(_encode(event))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+            self._seq = len(events)
+
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0

@@ -1,0 +1,129 @@
+"""The JSON-lines protocol on the daemon's local socket.
+
+One connection carries any number of request/response pairs; each is a
+single newline-terminated JSON object. Requests name an ``op`` —
+``submit`` / ``status`` / ``cancel`` / ``result`` / ``health`` /
+``drain`` — plus op-specific fields; responses are ``{"ok": true, ...}``
+or ``{"ok": false, "error": {"type": ..., "message": ...}}``. Everything
+is idempotent by construction: ``submit`` dedupes on its idempotency
+key, ``cancel``/``drain`` are level-triggered, and the reads are pure —
+which is what lets the client retry any request after a reconnect
+without double-effects.
+
+Job specs share the ``sort`` CLI's vocabulary (the service runs exactly
+the sorts the CLI runs); :func:`validate_spec` normalizes a request's
+spec against :data:`SPEC_DEFAULTS` and rejects unknown fields or
+illegal values *before* anything is journaled.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import ServiceError
+
+#: Ops the daemon serves.
+OPS = ("submit", "status", "cancel", "result", "health", "drain")
+
+#: Job-spec fields and their defaults (the ``sort`` CLI's defaults).
+SPEC_DEFAULTS = {
+    "algorithm": "threaded",
+    "records": 8192,
+    "buffer": 512,
+    "processors": 4,
+    "record_size": 64,
+    "key": "u8",
+    "workload": "uniform",
+    "seed": 0,
+    "pipeline_depth": 2,
+    "backend": "thread",
+    "verify": True,
+}
+
+#: Maximum accepted request line (a spec is a few hundred bytes; a
+#: megabyte means a confused or hostile peer).
+MAX_LINE_BYTES = 1 << 20
+
+
+def validate_spec(spec: dict) -> dict:
+    """Normalize a submitted job spec; raises
+    :class:`~repro.errors.ServiceError` on unknown fields or illegal
+    values. Full shape/bound validation happens when the job runs (the
+    algorithms own those rules); this rejects what can be rejected
+    before a journal record exists."""
+    from repro.oocs.api import ALGORITHMS
+    from repro.records.generators import workload_names
+
+    if not isinstance(spec, dict):
+        raise ServiceError(f"job spec must be an object, got {type(spec).__name__}")
+    unknown = set(spec) - set(SPEC_DEFAULTS)
+    if unknown:
+        raise ServiceError(f"unknown job-spec field(s): {sorted(unknown)}")
+    out = dict(SPEC_DEFAULTS)
+    out.update(spec)
+    if out["algorithm"] not in ALGORITHMS:
+        raise ServiceError(
+            f"unknown algorithm {out['algorithm']!r}; expected one of "
+            f"{sorted(ALGORITHMS)}"
+        )
+    if out["workload"] not in workload_names():
+        raise ServiceError(f"unknown workload {out['workload']!r}")
+    for name in ("records", "buffer", "processors", "record_size", "seed",
+                 "pipeline_depth"):
+        if not isinstance(out[name], int) or isinstance(out[name], bool):
+            raise ServiceError(f"spec field {name!r} must be an integer")
+    for name in ("records", "buffer", "processors", "record_size"):
+        if out[name] < 1:
+            raise ServiceError(f"spec field {name!r} must be >= 1")
+    if out["pipeline_depth"] < 0:
+        raise ServiceError("spec field 'pipeline_depth' must be >= 0")
+    if not isinstance(out["verify"], bool):
+        raise ServiceError("spec field 'verify' must be a boolean")
+    return out
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one JSON line (the whole message or an exception)."""
+    data = json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n"
+    sock.sendall(data.encode())
+
+
+def recv_message(fh) -> dict | None:
+    """Read one JSON line from a socket makefile; None on EOF.
+
+    Raises :class:`~repro.errors.ServiceError` on an over-long or
+    unparsable line — the connection is then dropped (a framing error
+    leaves no way to find the next message boundary safely).
+    """
+    line = fh.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(f"unparsable protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceError("protocol messages must be JSON objects")
+    return message
+
+
+def ok(**fields) -> dict:
+    out = {"ok": True}
+    out.update(fields)
+    return out
+
+
+def error(exc_or_type, message: str | None = None) -> dict:
+    """A structured error response; accepts an exception or a type name."""
+    if isinstance(exc_or_type, BaseException):
+        type_name = type(exc_or_type).__name__
+        message = str(exc_or_type)
+    else:
+        type_name = str(exc_or_type)
+    return {"ok": False, "error": {"type": type_name, "message": message or ""}}

@@ -67,3 +67,121 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "3 passes" in out and "network" in out
+
+
+class TestJsonOutput:
+    def test_sort_json_emits_result_schema(self, capsys, tmp_path):
+        import json
+
+        rc = main([
+            "sort", "--records", "2048", "--buffer", "256", "-p", "2",
+            "--workdir", str(tmp_path), "--json",
+        ])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "repro.sort-result/1"
+        assert summary["verified"] is True
+        assert summary["n"] == 2048
+        assert summary["passes"] == 3
+        assert len(summary["output_digest"]) == 64
+        assert summary["digest_algo"]
+
+    def test_sort_json_digest_is_deterministic(self, capsys, tmp_path):
+        import json
+
+        digests = []
+        for sub in ("a", "b"):
+            rc = main([
+                "sort", "--records", "2048", "--buffer", "256", "-p", "2",
+                "--workdir", str(tmp_path / sub), "--json",
+            ])
+            assert rc == 0
+            digests.append(json.loads(capsys.readouterr().out)["output_digest"])
+        assert digests[0] == digests[1]
+
+
+class TestCheckpointFlags:
+    def test_sort_prunes_checkpoints_by_default(self, capsys, tmp_path):
+        ckdir = tmp_path / "ck"
+        rc = main([
+            "sort", "--records", "2048", "--buffer", "256", "-p", "2",
+            "--workdir", str(tmp_path / "w"), "--checkpoint-dir", str(ckdir),
+        ])
+        assert rc == 0
+        assert not ckdir.exists()
+
+    def test_keep_checkpoints_flag(self, capsys, tmp_path):
+        ckdir = tmp_path / "ck"
+        rc = main([
+            "sort", "--records", "2048", "--buffer", "256", "-p", "2",
+            "--workdir", str(tmp_path / "w"), "--checkpoint-dir", str(ckdir),
+            "--keep-checkpoints",
+        ])
+        assert rc == 0
+        assert list(ckdir.glob("pass_*.json"))
+
+
+class TestServiceCommands:
+    def test_serve_parser(self):
+        args = build_parser().parse_args([
+            "serve", "--root", "/tmp/x", "--workers", "3",
+            "--tenant", "vip=10:4:32", "--tenant", "batch=0",
+        ])
+        assert args.workers == 3
+        tenants = dict(args.tenant)
+        assert tenants["vip"].priority == 10
+        assert tenants["vip"].max_running == 4
+        assert tenants["vip"].max_queued == 32
+        assert tenants["batch"].priority == 0
+
+    def test_serve_rejects_bad_tenant_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--root", "/tmp/x",
+                                       "--tenant", "no-equals-sign"])
+
+    def test_client_parser(self):
+        args = build_parser().parse_args([
+            "client", "submit", "--socket", "/tmp/s.sock",
+            "--spec", '{"records": 4096}', "--wait",
+        ])
+        assert args.op == "submit" and args.wait
+
+    def test_client_requires_job_for_status(self, capsys):
+        rc = main(["client", "status", "--socket", "/tmp/nonexistent.sock"])
+        assert rc == 2
+        assert "--job is required" in capsys.readouterr().err
+
+    def test_client_unreachable_daemon_is_structured_error(self, capsys):
+        rc = main([
+            "client", "health", "--socket", "/tmp/definitely-not-there.sock",
+            "--retries", "0", "--timeout", "1",
+        ])
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_serve_and_client_round_trip(self, capsys):
+        import json
+        import tempfile
+        import threading
+
+        from repro.service import SortService
+
+        with tempfile.TemporaryDirectory(prefix="svc-", dir="/tmp") as root:
+            service = SortService(root, workers=1)
+            service.start()
+            try:
+                sock = str(service.socket_path)
+                rc = main([
+                    "client", "submit", "--socket", sock,
+                    "--spec", '{"records": 4096, "buffer": 512}', "--wait",
+                ])
+                assert rc == 0
+                final = json.loads(capsys.readouterr().out)
+                assert final["state"] == "done"
+                assert final["result"]["schema"] == "repro.sort-result/1"
+                rc = main(["client", "health", "--socket", sock])
+                assert rc == 0
+                health = json.loads(capsys.readouterr().out)
+                assert health["jobs"] == {"done": 1}
+            finally:
+                service.stop()

@@ -246,3 +246,90 @@ class TestAdmissionStorm:
         assert snap["peak_queued"] <= 2
         assert snap["running"] == snap["queued"] == 0
         assert snap["mem_in_use"] == snap["scratch_in_use"] == 0
+
+
+class TestPriorityQueueing:
+    """Priority admission (the service daemon's tenant priorities map
+    here): highest priority leaves the queue first, FIFO within a
+    priority, and the default priority 0 everywhere stays plain FIFO."""
+
+    def test_higher_priority_overtakes_earlier_arrival(self):
+        gov = JobGovernor(max_concurrent=1, max_queue=4, queue_timeout_s=30.0)
+        blocker = gov.admit()
+        order = []
+        lock = threading.Lock()
+
+        def waiter(name, priority):
+            ticket = gov.admit(priority=priority)
+            with lock:
+                order.append(name)
+            ticket.release()
+
+        low = threading.Thread(target=waiter, args=("low", 0))
+        low.start()
+        while gov.queued() < 1:
+            time.sleep(0.005)
+        high = threading.Thread(target=waiter, args=("high", 5))
+        high.start()
+        while gov.queued() < 2:
+            time.sleep(0.005)
+        blocker.release()
+        low.join(timeout=30)
+        high.join(timeout=30)
+        assert order == ["high", "low"]
+
+    def test_equal_priority_stays_fifo(self):
+        gov = JobGovernor(max_concurrent=1, max_queue=8, queue_timeout_s=30.0)
+        blocker = gov.admit()
+        order = []
+        lock = threading.Lock()
+        threads = []
+
+        def waiter(name):
+            ticket = gov.admit(priority=3)
+            with lock:
+                order.append(name)
+            ticket.release()
+
+        for i in range(4):
+            t = threading.Thread(target=waiter, args=(i,))
+            t.start()
+            threads.append(t)
+            while gov.queued() < i + 1:
+                time.sleep(0.005)
+        blocker.release()
+        for t in threads:
+            t.join(timeout=30)
+        assert order == [0, 1, 2, 3]
+
+    def test_cancelled_high_priority_waiter_unblocks_the_rest(self):
+        gov = JobGovernor(max_concurrent=1, max_queue=4, queue_timeout_s=30.0)
+        blocker = gov.admit()
+        token = CancelToken()
+        outcome = {}
+
+        def vip():
+            try:
+                gov.admit(priority=10, cancel=token)
+            except CancelledError:
+                outcome["vip"] = "cancelled"
+
+        def regular():
+            ticket = gov.admit(priority=0)
+            outcome["regular"] = "admitted"
+            ticket.release()
+
+        t1 = threading.Thread(target=vip)
+        t1.start()
+        while gov.queued() < 1:
+            time.sleep(0.005)
+        t2 = threading.Thread(target=regular)
+        t2.start()
+        while gov.queued() < 2:
+            time.sleep(0.005)
+        token.cancel("changed plans")
+        t1.join(timeout=30)
+        blocker.release()
+        t2.join(timeout=30)
+        assert outcome == {"vip": "cancelled", "regular": "admitted"}
+        assert gov.snapshot()["queued"] == 0

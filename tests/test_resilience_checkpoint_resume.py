@@ -279,3 +279,52 @@ class TestResumeValidation:
             res.output_records()["key"], np.sort(recs["key"], kind="stable")
         )
         assert list(ckdir.glob("pass_*.json")) == []
+
+
+class TestCheckpointLifecycle:
+    """A successful run retires its checkpoint directory; failures (and
+    ``keep_checkpoints=True``) preserve it."""
+
+    def test_clear_removes_tmp_leftovers(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        store.save({"version": 1, "pass_index": 1})
+        (store.root / "pass_0002.json.tmp").write_text("torn half-write")
+        store.clear()
+        assert list(store.root.glob("pass_*")) == []
+        assert store.root.exists()
+
+    def test_prune_removes_the_directory(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        store.save({"version": 1, "pass_index": 1})
+        store.save({"version": 1, "pass_index": 2})
+        store.prune()
+        assert not store.root.exists()
+
+    def test_prune_spares_a_directory_with_foreign_files(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        store.save({"version": 1, "pass_index": 1})
+        foreign = store.root / "notes.txt"
+        foreign.write_text("mine")
+        store.prune()
+        assert store.root.exists() and foreign.exists()
+        assert list(store.root.glob("pass_*.json")) == []
+
+    def test_successful_run_prunes_checkpoint_dir(self, tmp_path):
+        recs = records_for("threaded")
+        ckdir = tmp_path / "ck"
+        run_sort(
+            "threaded", recs, 0, workdir=tmp_path / "w", checkpoint_dir=ckdir,
+        )
+        assert not ckdir.exists()
+
+    def test_keep_checkpoints_preserves_manifests(self, tmp_path):
+        recs = records_for("threaded")
+        ckdir = tmp_path / "ck"
+        run_sort(
+            "threaded", recs, 0, workdir=tmp_path / "w",
+            checkpoint_dir=ckdir, keep_checkpoints=True,
+        )
+        manifests = sorted(p.name for p in ckdir.glob("pass_*.json"))
+        assert manifests  # every completed pass left its manifest
+        data = json.loads((ckdir / manifests[-1]).read_text())
+        assert data["algorithm"] == "threaded"
