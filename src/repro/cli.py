@@ -301,6 +301,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenants=dict(args.tenant or []),
         restart_policy=restart_policy,
         drain_timeout_s=args.drain_timeout,
+        compact_min_bytes=args.compact_bytes if args.compact_bytes > 0 else None,
+        compact_min_events=(
+            args.compact_events if args.compact_events > 0 else None
+        ),
         log=log,
     )
     service.start()
@@ -537,6 +541,13 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="SIGTERM drain deadline before in-flight jobs are "
                           "checkpoint-interrupted for the next start to resume")
+    srv.add_argument("--compact-bytes", type=int, default=1 << 20,
+                     metavar="BYTES",
+                     help="compact the journal on boot once it exceeds this "
+                          "size (0 = never by size)")
+    srv.add_argument("--compact-events", type=int, default=4096, metavar="N",
+                     help="compact the journal on boot once replay exceeds "
+                          "this many events (0 = never by count)")
     srv.add_argument("--verbose", action="store_true",
                      help="log job lifecycle events to stderr")
     srv.set_defaults(fn=_cmd_serve)

@@ -1,0 +1,287 @@
+"""The simulated page cache: crash-state enumeration and materialization.
+
+A crash state is "the power failed after the workload issued
+``ops[:crash_index]``". Everything a barrier made durable
+(:func:`~repro.crashsim.oplog.durable_at`) is on disk for certain;
+every other issued op lives in the simulated page cache and may or may
+not have been written back. The enumerator generates the legal
+materializations of that uncertainty under the model rules DESIGN §14
+documents:
+
+1. **Durable ops are always applied.** An issued ``fsync`` already did
+   its work.
+2. **Pending data ops apply as an arbitrary subset** — writeback gives
+   no ordering between fsync barriers, so a later write can land while
+   an earlier one is lost (the "reordered writes" states).
+3. **Pending namespace ops apply as a per-directory prefix** — metadata
+   journaling preserves intra-directory order, so a rename can persist
+   without the preceding data (the classic zero-length-file state) but
+   not without the create of its source entry.
+4. **Pending ``mkdir`` ops are always applied** — losing an empty
+   directory changes no recovery-visible state, and entries inside a
+   directory imply its creation reached the metadata journal.
+5. **At most one applied pending write may be torn**: a prefix of its
+   bytes (sector-granular, plus adversarial off-by-one lengths)
+   landed; the rest did not.
+
+:func:`is_legal_state` re-checks rules 1–5 for any state — the
+hypothesis suite drives random op logs through the enumerator and
+asserts every generated state passes it. :func:`materialize` writes a
+state to a scratch root for the real recovery code to run against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.crashsim.oplog import (
+    BARRIER_KINDS,
+    DATA_KINDS,
+    NS_KINDS,
+    Op,
+    Snapshot,
+    durable_at,
+    pending_at,
+)
+
+#: Simulated sector size for torn writes.
+SECTOR = 512
+
+
+@dataclass(frozen=True)
+class CrashState:
+    """One legal post-crash disk state.
+
+    ``applied`` lists the pending op indices that materialized; ``torn``
+    maps one applied pending write to the byte count that landed.
+    """
+
+    crash_index: int
+    applied: frozenset[int]
+    torn: tuple[tuple[int, int], ...] = ()
+    label: str = ""
+
+    def torn_map(self) -> dict[int, int]:
+        return dict(self.torn)
+
+
+def _pending_split(ops: list[Op], crash_index: int):
+    """Pending ops at a crash point, split by class."""
+    pending = pending_at(ops, crash_index)
+    data = [op for op in pending if op.kind in DATA_KINDS]
+    ns = [op for op in pending if op.kind in NS_KINDS and op.kind != "mkdir"]
+    mkdirs = [op for op in pending if op.kind == "mkdir"]
+    return data, ns, mkdirs
+
+
+def _ns_prefixes(ns_ops: list[Op]) -> list[frozenset[int]]:
+    """Legal pending-namespace subsets: per-directory prefixes. One
+    directory is varied through every prefix length while the others
+    stay complete, plus the all-empty and all-complete extremes."""
+    by_dir: dict[str, list[int]] = {}
+    for op in ns_ops:
+        by_dir.setdefault(op.parent, []).append(op.index)
+    all_idx = frozenset(op.index for op in ns_ops)
+    out = {frozenset(), all_idx}
+    for vary, indices in by_dir.items():
+        rest = frozenset(
+            i for d, idx in by_dir.items() if d != vary for i in idx
+        )
+        for k in range(len(indices) + 1):
+            out.add(rest | frozenset(indices[:k]))
+    return sorted(out, key=lambda s: (len(s), sorted(s)))
+
+
+def _data_subsets(data_ops: list[Op]) -> list[frozenset[int]]:
+    """Representative pending-data subsets: the extremes, every
+    drop-one (a later write persisted while this one was lost), and
+    every keep-one (only this write persisted)."""
+    indices = [op.index for op in data_ops]
+    all_idx = frozenset(indices)
+    out = {frozenset(), all_idx}
+    for i in indices:
+        out.add(all_idx - {i})
+        out.add(frozenset({i}))
+    return sorted(out, key=lambda s: (len(s), sorted(s)))
+
+
+def _torn_lengths(nbytes: int) -> list[int]:
+    """Interesting torn-prefix lengths for one write."""
+    lengths = {1, nbytes // 2, nbytes - 1}
+    lengths.update(range(SECTOR, nbytes, SECTOR))
+    return sorted(ln for ln in lengths if 0 < ln < nbytes)
+
+
+def enumerate_crash_states(
+    ops: list[Op],
+    crash_indices: list[int] | None = None,
+    include_torn: bool = True,
+    max_torn_per_state: int = 3,
+    max_states: int | None = None,
+) -> list[CrashState]:
+    """Enumerate legal post-crash states of an op log.
+
+    ``crash_indices`` defaults to every op boundary (0..len). States
+    are deduplicated; ``max_states`` truncates the sweep (callers log
+    the truncation — a silent cap would read as full coverage).
+    """
+    if crash_indices is None:
+        crash_indices = list(range(len(ops) + 1))
+    states: list[CrashState] = []
+    seen: set[tuple] = set()
+
+    def emit(ci: int, applied: frozenset[int], torn=(), label="") -> None:
+        key = (ci, applied, torn)
+        if key in seen:
+            return
+        seen.add(key)
+        states.append(
+            CrashState(crash_index=ci, applied=applied, torn=torn, label=label)
+        )
+
+    by_index = {op.index: op for op in ops}
+    for ci in crash_indices:
+        data, ns, mkdirs = _pending_split(ops, ci)
+        mk = frozenset(op.index for op in mkdirs)
+        data_variants = _data_subsets(data)
+        ns_variants = _ns_prefixes(ns)
+        all_data = frozenset(op.index for op in data)
+        all_ns = frozenset(op.index for op in ns)
+        combos = set()
+        for dv in data_variants:
+            combos.add((dv, all_ns))
+            combos.add((dv, frozenset()))
+        for nv in ns_variants:
+            combos.add((all_data, nv))
+            combos.add((frozenset(), nv))
+        for dv, nv in sorted(combos, key=lambda c: (sorted(c[0]), sorted(c[1]))):
+            applied = dv | nv | mk
+            emit(ci, applied, label=f"ci={ci}")
+            if not include_torn:
+                continue
+            applied_writes = [
+                i for i in sorted(dv) if by_index[i].kind == "write"
+            ]
+            if not applied_writes:
+                continue
+            frontier = applied_writes[-1]
+            torn_budget = itertools.islice(
+                _torn_lengths(len(by_index[frontier].data)),
+                max_torn_per_state,
+            )
+            for keep in torn_budget:
+                emit(
+                    ci,
+                    applied,
+                    torn=((frontier, keep),),
+                    label=f"ci={ci} torn@{frontier}:{keep}",
+                )
+    if max_states is not None and len(states) > max_states:
+        return states[:max_states]
+    return states
+
+
+def is_legal_state(ops: list[Op], state: CrashState) -> bool:
+    """Re-derive the POSIX-model legality of a crash state (rules 1–5
+    in the module docstring). The hypothesis suite asserts this for
+    every state the enumerator produces."""
+    if not 0 <= state.crash_index <= len(ops):
+        return False
+    pending = pending_at(ops, state.crash_index)
+    pending_idx = {op.index for op in pending}
+    if not state.applied <= pending_idx:
+        return False  # applied something never issued, or already durable
+    by_index = {op.index: op for op in pending}
+    # Rule 4: pending mkdirs always apply.
+    for op in pending:
+        if op.kind == "mkdir" and op.index not in state.applied:
+            return False
+    # Rule 3: per-directory prefix closure over non-mkdir namespace ops.
+    by_dir: dict[str, list[int]] = {}
+    for op in pending:
+        if op.kind in NS_KINDS and op.kind != "mkdir":
+            by_dir.setdefault(op.parent, []).append(op.index)
+    for indices in by_dir.values():
+        tail = False
+        for i in indices:
+            if i in state.applied:
+                if tail:
+                    return False
+            else:
+                tail = True
+    # Rule 5: torn ops are applied pending writes, strict prefixes.
+    for index, keep in state.torn:
+        op = by_index.get(index)
+        if op is None or op.kind != "write":
+            return False
+        if index not in state.applied:
+            return False
+        if not 0 < keep < len(op.data):
+            return False
+    return True
+
+
+def materialize(
+    ops: list[Op],
+    state: CrashState,
+    initial: Snapshot,
+    dest: str | Path,
+) -> Path:
+    """Write one crash state to ``dest`` (created; must not already
+    hold files) by replaying the durable + applied ops over the initial
+    snapshot in an inode-based filesystem model."""
+    durable = durable_at(ops, state.crash_index)
+    torn = state.torn_map()
+    contents: dict[int, bytearray] = {
+        inode: bytearray(data) for inode, data in initial.files.values()
+    }
+    namespace: dict[str, int] = {
+        rel: inode for rel, (inode, _) in initial.files.items()
+    }
+    dirs: set[str] = set(initial.dirs)
+    for op in ops[: state.crash_index]:
+        if op.kind in BARRIER_KINDS:
+            continue
+        if op.index not in durable and op.index not in state.applied:
+            continue
+        if op.kind == "write":
+            data = op.data
+            keep = torn.get(op.index)
+            if keep is not None:
+                data = data[:keep]
+            buf = contents.setdefault(op.inode, bytearray())
+            end = op.offset + len(data)
+            if len(buf) < end:
+                buf.extend(b"\0" * (end - len(buf)))
+            buf[op.offset : end] = data
+        elif op.kind == "truncate":
+            buf = contents.setdefault(op.inode, bytearray())
+            if op.size <= len(buf):
+                del buf[op.size :]
+            else:
+                buf.extend(b"\0" * (op.size - len(buf)))
+        elif op.kind == "create":
+            contents.setdefault(op.inode, bytearray())
+            namespace[op.path] = op.inode
+        elif op.kind == "rename":
+            if namespace.get(op.src) == op.inode:
+                del namespace[op.src]
+            namespace[op.path] = op.inode
+        elif op.kind == "unlink":
+            namespace.pop(op.path, None)
+        elif op.kind == "mkdir":
+            dirs.add(op.path)
+        elif op.kind == "rmdir":
+            dirs.discard(op.path)
+    dest = Path(dest)
+    dest.mkdir(parents=True, exist_ok=True)
+    for rel in sorted(dirs, key=lambda d: (d.count("/"), d)):
+        if rel:
+            (dest / rel).mkdir(parents=True, exist_ok=True)
+    for rel, inode in sorted(namespace.items()):
+        path = dest / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(bytes(contents.get(inode, b"")))
+    return dest

@@ -1,0 +1,90 @@
+"""Crash-safe write primitives shared by every durability plane.
+
+Three subsystems persist small metadata files whose loss or tearing
+would break a recovery claim: the job journal's compaction rewrite, the
+checkpoint manifests, and the block-checksum sidecar catalogs. All
+three follow the same discipline, and this module is the one place it
+is implemented so an audit of "did we fsync the parent directory?" has
+exactly one answer:
+
+1. write the new content to ``<path>.tmp`` in the destination
+   directory;
+2. ``fsync`` the temp file, so its *bytes* are durable before any name
+   points at them (skipping this is the classic bug where power loss
+   leaves the rename pointing at a zero-length file);
+3. ``os.replace`` the temp file over the destination — atomic against
+   both concurrent readers and a crash (the name maps to the old or the
+   new inode, never a mixture);
+4. ``fsync`` the parent directory, so the *rename itself* is durable
+   (skipping this is the second classic bug: after power loss the
+   directory entry silently reverts to the old file).
+
+``durable=False`` skips the two fsyncs for hot paths that batch their
+durability into an explicit barrier (see
+:meth:`~repro.durability.checksums.BlockChecksums.sync`) — the replace
+is still atomic with respect to process crashes, which cannot lose
+page-cache contents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush a directory's entries to disk, making the renames, links,
+    and unlinks inside it durable. No-op on platforms whose directory
+    handles reject fsync (the POSIX targets we run on accept it)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - non-POSIX directory handles
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_file(path: str | Path) -> None:
+    """Flush one existing file's data to disk (used by barriers that
+    make previously buffered writes durable in place)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, durable: bool = True
+) -> None:
+    """Atomically replace ``path``'s contents with ``data`` (temp file
+    + ``os.replace``); with ``durable=True`` the bytes are fsynced
+    before the rename and the parent directory after it, so the write
+    survives power loss all-or-nothing."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        if durable:
+            fh.flush()
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if durable:
+        fsync_dir(path.parent)
+
+
+def atomic_write_json(
+    path: str | Path,
+    doc: dict,
+    indent: int | None = None,
+    durable: bool = True,
+) -> None:
+    """:func:`atomic_write_bytes` for a JSON document (sorted keys, so
+    repeated writes of equal content are byte-identical)."""
+    atomic_write_bytes(
+        path,
+        json.dumps(doc, indent=indent, sort_keys=True).encode(),
+        durable=durable,
+    )

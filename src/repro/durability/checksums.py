@@ -13,6 +13,15 @@ block ranges, and always read ranges that those write extents tile
 exactly. An extent only partially covered by a later write is dropped
 from the catalog (its old checksum no longer describes the file), which
 matches the raw-disk semantics the disk unit tests pin down.
+
+Sidecar durability is *barriered*, not per-write: each write rewrites
+the object's sidecar atomically (temp file + ``os.replace``, which a
+process crash cannot tear) but leaves the bytes and the rename in the
+page cache; :meth:`BlockChecksums.sync` fsyncs every dirty sidecar and
+the ``.meta/`` directory itself. The checkpoint layer calls it before a
+pass manifest becomes durable, so a durable manifest can never point at
+sidecars (or sidecar renames) that power loss would roll back — the
+crashsim harness enumerates exactly those states (DESIGN §14).
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import json
 import threading
 from pathlib import Path
 
+from repro.durability.atomic import atomic_write_json, fsync_dir, fsync_file
 from repro.durability.hashing import CHECKSUM_ALGO, block_checksum
 
 
@@ -32,6 +42,8 @@ class BlockChecksums:
         self._lock = threading.Lock()
         #: name -> list of [offset, length, crc], sorted by offset.
         self._extents: dict[str, list[list[int]]] = {}
+        #: names whose sidecar changed since the last :meth:`sync`.
+        self._dirty: set[str] = set()
         if self._dir.is_dir():
             for sidecar in self._dir.glob("*.json"):
                 try:
@@ -56,6 +68,9 @@ class BlockChecksums:
         return self._dir / f"{name}.json"
 
     def _persist(self, name: str) -> None:
+        """Rewrite one sidecar atomically (buffered — see :meth:`sync`
+        for the durability barrier). Caller holds the lock."""
+        self._dirty.add(name)
         extents = self._extents.get(name)
         if extents is None:
             try:
@@ -65,9 +80,34 @@ class BlockChecksums:
             return
         self._dir.mkdir(exist_ok=True)
         doc = {"algo": CHECKSUM_ALGO, "name": name, "extents": extents}
-        tmp = self._sidecar(name).with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(doc))
-        tmp.replace(self._sidecar(name))
+        atomic_write_json(self._sidecar(name), doc, durable=False)
+
+    def sync(self) -> int:
+        """Durability barrier: fsync every sidecar dirtied since the
+        last barrier, then fsync ``.meta/`` itself (making the renames
+        — and any unlinks from :meth:`drop` — durable). Returns the
+        number of sidecars flushed.
+
+        Between barriers a power loss may roll a sidecar back to an
+        older generation (the rename was buffered); that is safe by
+        construction — a stale CRC can only *refuse* bytes, never
+        accept wrong ones — and the checkpoint layer calls this before
+        persisting a manifest so resume points are never built on
+        roll-backable metadata.
+        """
+        with self._lock:
+            dirty, self._dirty = self._dirty, set()
+            if not dirty:
+                return 0
+            flushed = 0
+            for name in sorted(dirty):
+                sidecar = self._sidecar(name)
+                if sidecar.exists():
+                    fsync_file(sidecar)
+                    flushed += 1
+            if self._dir.is_dir():
+                fsync_dir(self._dir)
+            return flushed
 
     # ------------------------------------------------------------------
 

@@ -26,9 +26,9 @@ from the wrong data.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
+from repro.durability.atomic import atomic_write_json, fsync_dir
 from repro.durability.hashing import block_checksum, hexdigest
 from repro.errors import CheckpointError
 
@@ -140,23 +140,28 @@ class CheckpointStore:
         supervisor restarts runs on the strength of these files; a torn
         one would turn recovery into corruption.
         """
-        path = self._path(manifest["pass_index"])
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(manifest, indent=2, sort_keys=True))
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-        dir_fd = os.open(self.root, os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
+        atomic_write_json(
+            self._path(manifest["pass_index"]), manifest, indent=2
+        )
 
     def save_pass(self, job, algorithm: str, pass_index: int,
                   total_passes: int, store) -> dict:
-        """Build and persist the manifest for one completed pass."""
+        """Build and persist the manifest for one completed pass.
+
+        The manifest is a durable promise about the store it names, so
+        the store is flushed *first* (every disk's object files and
+        block-checksum sidecars — :meth:`VirtualDisk.sync
+        <repro.disks.virtual_disk.VirtualDisk.sync>`): power loss after
+        the manifest's rename persisted must find the exact bytes and
+        CRCs the manifest's digest was computed over, or resume
+        validation could refuse (or worse, trust) a store the page
+        cache silently rolled back.
+        """
         manifest = pass_manifest(job, algorithm, pass_index, total_passes, store)
+        for disk in getattr(store, "disks", ()):
+            sync = getattr(disk, "sync", None)
+            if sync is not None:
+                sync()
         self.save(manifest)
         return manifest
 
@@ -212,22 +217,37 @@ class CheckpointStore:
     def clear(self) -> None:
         """Remove every manifest — and any ``.json.tmp`` leftover a
         crash stranded mid-:meth:`save` (a completed run's checkpoints
-        are garbage)."""
+        are garbage). The directory is fsynced afterwards so power loss
+        cannot roll the unlinks back and resurrect a retired manifest
+        as a bogus resume point."""
+        removed = False
         for path in self.root.glob("pass_*.json"):
             path.unlink(missing_ok=True)
+            removed = True
         for path in self.root.glob("pass_*.json.tmp"):
             path.unlink(missing_ok=True)
+            removed = True
+        if removed and self.root.is_dir():
+            fsync_dir(self.root)
 
     def prune(self) -> None:
         """Retire the whole checkpoint directory after a successful run:
         :meth:`clear` the manifests, then remove the directory itself if
         nothing foreign lives there (best-effort — a caller-owned parent
         or unexpected file means we leave the directory in place rather
-        than guess)."""
+        than guess). The parent directory is fsynced after a successful
+        removal: an un-fsynced ``rmdir`` can be undone by power loss,
+        and a resurrected stale checkpoint directory is exactly the
+        "phantom resume point" the crashsim harness checks for."""
         self.clear()
+        parent = self.root.parent
         try:
             self.root.rmdir()
         except OSError:
+            return
+        try:
+            fsync_dir(parent)
+        except OSError:  # pragma: no cover - parent itself raced away
             pass
 
     # -- resume ----------------------------------------------------------

@@ -47,7 +47,13 @@ from pathlib import Path
 from repro.errors import ReproError, Cancellation, JobNotFound, ServiceError
 from repro.governor import CancelToken, JobGovernor
 from repro.service import protocol
-from repro.service.jobs import TERMINAL_STATES, JobRecord, apply_event, replay_jobs
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    JobRecord,
+    apply_event,
+    compaction_events,
+    replay_jobs,
+)
 from repro.service.journal import JobJournal
 
 #: Unix sockets cap sun_path around 108 bytes; fail early and clearly.
@@ -116,6 +122,8 @@ class SortService:
         default_policy: TenantPolicy | None = None,
         restart_policy=None,
         drain_timeout_s: float = 30.0,
+        compact_min_bytes: int | None = 1 << 20,
+        compact_min_events: int | None = 4096,
         log=None,
     ) -> None:
         if workers < 1:
@@ -136,6 +144,8 @@ class SortService:
         self.default_policy = default_policy or TenantPolicy()
         self.restart_policy = restart_policy
         self.drain_timeout_s = drain_timeout_s
+        self.compact_min_bytes = compact_min_bytes
+        self.compact_min_events = compact_min_events
         self._log = log or (lambda line: None)
         self.governor = JobGovernor(
             max_concurrent=max_concurrent or workers,
@@ -184,11 +194,53 @@ class SortService:
                 f"another daemon already serves {self.root} ({exc})"
             ) from exc
 
+    def _maybe_compact(self, events: list[dict], jobs) -> dict | None:
+        """Boot-time journal compaction (ROADMAP: implemented-but-unwired
+        until now). When the replayed journal exceeds the size *or*
+        event threshold — and the minimal history is actually smaller —
+        rewrite it via :meth:`~repro.service.journal.JobJournal.compact`
+        (crash-atomic: the journal is the old file or the new one,
+        never a mixture) and journal a ``compacted`` service event so
+        the rewrite itself is observable in replay. Returns the
+        compaction summary, or None when the policy does not fire."""
+        size = self.journal.size_bytes()
+        over_bytes = (
+            self.compact_min_bytes is not None
+            and size >= self.compact_min_bytes
+        )
+        over_events = (
+            self.compact_min_events is not None
+            and len(events) >= self.compact_min_events
+        )
+        if not (over_bytes or over_events):
+            return None
+        minimal = compaction_events(jobs)
+        # Compare against *job* events only: compaction always discards
+        # historical service events (drain/recovered/compacted), and
+        # counting them would make every boot re-compact an already
+        # minimal journal just to strip its own compaction marker.
+        job_events = sum(1 for e in events if e.get("job") is not None)
+        if len(minimal) >= job_events:
+            return None  # nothing to reclaim; keep the journal as-is
+        self.journal.compact(minimal)
+        summary = {
+            "events_before": len(events),
+            "events_after": len(minimal),
+            "bytes_before": size,
+            "bytes_after": self.journal.size_bytes(),
+        }
+        self.journal.append("compacted", **summary)
+        return summary
+
     def _recover(self) -> None:
         """Repair the journal, replay it, and requeue unfinished work."""
         torn = self.journal.repair()
         events, _ = self.journal.replay()
         jobs, service_events = replay_jobs(events)
+        compacted = self._maybe_compact(events, jobs)
+        if compacted is not None:
+            events, _ = self.journal.replay()
+            jobs, service_events = replay_jobs(events)
         requeued, resumed = [], []
         with self._cv:
             self._jobs = jobs
@@ -218,6 +270,7 @@ class SortService:
             "service_events": len(service_events),
             "requeued": requeued,
             "resumed": resumed,
+            "compacted": compacted,
         }
         if requeued or resumed or torn:
             self.journal.append(
@@ -229,6 +282,12 @@ class SortService:
         self._log(
             f"recovered: {len(events)} events, {len(requeued)} requeued, "
             f"{len(resumed)} resumed, {torn} torn bytes repaired"
+            + (
+                f", compacted {compacted['events_before']}→"
+                f"{compacted['events_after']} events"
+                if compacted
+                else ""
+            )
         )
 
     def start(self) -> "SortService":

@@ -36,6 +36,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.durability.atomic import atomic_write_bytes, fsync_dir
 from repro.durability.hashing import block_checksum
 from repro.errors import JournalError
 
@@ -88,7 +89,15 @@ class JobJournal:
 
     def _handle(self):
         if self._fh is None:
+            existed = self.path.exists()
             self._fh = open(self.path, "ab")
+            if not existed:
+                # A brand-new journal's *directory entry* is not covered
+                # by the per-append fsync (which flushes the file's data,
+                # not the name pointing at it): without this, power loss
+                # after the first acknowledged append could drop the
+                # whole file. Found by the crashsim sweep (DESIGN §14).
+                fsync_dir(self.path.parent)
         return self._fh
 
     def append(self, kind: str, job: str | None = None, **fields) -> int:
@@ -187,20 +196,12 @@ class JobJournal:
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
-            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-            with open(tmp, "wb") as fh:
-                for seq, event in enumerate(events, start=1):
-                    event = dict(event)
-                    event["seq"] = seq
-                    fh.write(_encode(event))
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
-            dir_fd = os.open(self.path.parent, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
+            lines = []
+            for seq, event in enumerate(events, start=1):
+                event = dict(event)
+                event["seq"] = seq
+                lines.append(_encode(event))
+            atomic_write_bytes(self.path, b"".join(lines))
             self._seq = len(events)
 
     def size_bytes(self) -> int:

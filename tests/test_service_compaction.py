@@ -1,0 +1,160 @@
+"""Boot-time journal compaction: the daemon's recovery rewrites a grown
+journal down to the minimal legal history (ROADMAP: the compact()
+machinery existed but nothing called it until now)."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.service.daemon import SortService
+from repro.service.jobs import replay_jobs
+from repro.service.journal import JobJournal
+
+
+@pytest.fixture
+def service_root():
+    with tempfile.TemporaryDirectory(prefix="svcc-", dir="/tmp") as root:
+        yield Path(root)
+
+
+def _grown_journal(root: Path, jobs: int = 8) -> tuple[int, int]:
+    """A journal with ``jobs`` completed lifecycles (4 events each plus
+    noise ``checkpointed`` progress); returns (events, bytes)."""
+    journal = JobJournal(root / "journal.log")
+    for k in range(jobs):
+        job = f"j{k:06d}"
+        journal.append("submitted", job=job, tenant="acme", spec={"n": 64})
+        journal.append("admitted", job=job)
+        journal.append("running", job=job)
+        for p in (1, 2, 3):
+            journal.append("checkpointed", job=job, **{"pass": p})
+        journal.append("done", job=job, result={"passes": 3})
+    events, _ = journal.replay()
+    size = journal.size_bytes()
+    journal.close()
+    return len(events), size
+
+
+def _recovered_service(root: Path, **kwargs) -> SortService:
+    service = SortService(root, workers=1, **kwargs)
+    service._recover()
+    return service
+
+
+def test_boot_compaction_fires_over_the_byte_threshold(service_root):
+    events_before, bytes_before = _grown_journal(service_root)
+    before_jobs, _ = replay_jobs(JobJournal(service_root / "journal.log").replay()[0])
+    service = _recovered_service(
+        service_root, compact_min_bytes=1, compact_min_events=None
+    )
+    try:
+        summary = service._recovered["compacted"]
+        assert summary is not None
+        assert summary["events_before"] == events_before
+        assert summary["events_after"] < events_before
+        assert summary["bytes_after"] < bytes_before
+        # the rewritten journal replays to the identical job table ...
+        events, torn = service.journal.replay()
+        assert torn == 0
+        after_jobs, service_events = replay_jobs(events)
+        assert {j: r.state for j, r in after_jobs.items()} == {
+            j: r.state for j, r in before_jobs.items()
+        }
+        # ... and the rewrite journaled itself as a service event
+        assert any(e["kind"] == "compacted" for e in service_events)
+    finally:
+        service.journal.close()
+
+
+def test_boot_compaction_fires_over_the_event_threshold(service_root):
+    _grown_journal(service_root)
+    service = _recovered_service(
+        service_root, compact_min_bytes=None, compact_min_events=10
+    )
+    try:
+        assert service._recovered["compacted"] is not None
+    finally:
+        service.journal.close()
+
+
+def test_boot_compaction_respects_thresholds(service_root):
+    """Under both thresholds nothing is rewritten."""
+    events_before, bytes_before = _grown_journal(service_root)
+    service = _recovered_service(
+        service_root,
+        compact_min_bytes=bytes_before + 1,
+        compact_min_events=events_before + 1,
+    )
+    try:
+        assert service._recovered["compacted"] is None
+        assert service.journal.size_bytes() == bytes_before
+    finally:
+        service.journal.close()
+
+
+def test_boot_compaction_disabled_with_none(service_root):
+    _grown_journal(service_root)
+    service = _recovered_service(
+        service_root, compact_min_bytes=None, compact_min_events=None
+    )
+    try:
+        assert service._recovered["compacted"] is None
+    finally:
+        service.journal.close()
+
+
+def test_boot_compaction_is_idempotent(service_root):
+    """A second boot over an already-minimal journal must not rewrite
+    again just to strip its own ``compacted`` marker."""
+    _grown_journal(service_root)
+    first = _recovered_service(
+        service_root, compact_min_bytes=1, compact_min_events=None
+    )
+    first.journal.close()
+    assert first._recovered["compacted"] is not None
+    second = _recovered_service(
+        service_root, compact_min_bytes=1, compact_min_events=None
+    )
+    try:
+        assert second._recovered["compacted"] is None
+    finally:
+        second.journal.close()
+
+
+def test_compaction_preserves_unfinished_jobs(service_root):
+    """Non-terminal jobs survive compaction and are still requeued."""
+    journal = JobJournal(service_root / "journal.log")
+    for k in range(6):
+        job = f"j{k:06d}"
+        journal.append("submitted", job=job, tenant="acme", spec={"n": 64})
+        journal.append("admitted", job=job)
+        journal.append("running", job=job)
+        for p in (1, 2):
+            journal.append("checkpointed", job=job, **{"pass": p})
+        journal.append("done", job=job, result={"passes": 3})
+    journal.append("submitted", job="j000099", tenant="acme", spec={"n": 8})
+    journal.close()
+    service = _recovered_service(
+        service_root, compact_min_bytes=1, compact_min_events=None
+    )
+    try:
+        assert service._recovered["compacted"] is not None
+        assert "j000099" in service._jobs
+        assert "j000099" in service._pending
+        assert service._jobs["j000099"].state == "admitted"
+    finally:
+        service.journal.close()
+
+
+def test_serve_cli_exposes_compaction_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--root", "/tmp/x", "--compact-bytes", "0",
+         "--compact-events", "512"]
+    )
+    assert args.compact_bytes == 0
+    assert args.compact_events == 512
